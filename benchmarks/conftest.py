@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact (table / figure / worked example) has one bench
+module.  Benches run the *scaled* configuration (see DESIGN.md's
+substitution table) so the whole harness finishes in minutes; the
+full-scale reproduction is ``examples/paper_figure8.py`` and its
+outputs are recorded in EXPERIMENTS.md.
+
+Each bench prints the rows/series the paper reports (run pytest with
+``-s`` to see them) and asserts the qualitative shape — who wins, the
+direction of every trend — matching the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.simulation.config import ScaledConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """Scaled Table 3 configuration with short measurement windows."""
+    return ScaledConfig(scale=10, warmup_intervals=300, measure_intervals=1500)
+
+
+def emit(title: str, rows) -> None:
+    """Print a paper-style table (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    if isinstance(rows, str):
+        print(rows)
+    else:
+        print(format_table(rows))

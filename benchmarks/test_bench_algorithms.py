@@ -1,0 +1,74 @@
+"""Benches for Figures 6 and 7 — the delivery algorithms.
+
+Figure 6: time-fragmented delivery (Algorithm 1) and dynamic
+coalescing (Algorithm 2).  Figure 7: low-bandwidth logical-disk
+sharing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.coalesce import run_coalescing_lane
+from repro.core.delivery import run_fragmented_delivery
+from repro.core.lowbw import figure7_schedule, validate_figure7_schedule
+from repro.core.virtual_disks import SlotPool
+from tests.conftest import make_object
+
+
+def test_figure6_fragmented_delivery(benchmark):
+    """Algorithm 1 on Figure 6's exact scenario: M=2, k=1, free
+    virtual disks at 1 and 6, X0 on drives 0-1."""
+    obj = make_object(num_subobjects=6, degree=2)
+
+    def run():
+        pool = SlotPool(num_disks=8, stride=1)
+        return run_fragmented_delivery(obj, 0, [6, 1], pool)
+
+    trace, offsets = benchmark(run)
+    rows = [
+        {"interval": e.interval, "action": e.action, "lane": e.lane,
+         "subobject": e.subobject}
+        for e in trace.events
+    ]
+    emit("Figure 6 (Algorithm 1): fragmented delivery trace", rows[:12])
+    assert offsets == [0, 2]
+    assert trace.delivered_subobjects() == list(range(6))
+    assert min(trace.outputs_by_interval()) == 2
+    # Lane 1's steady-state backlog is exactly its w_offset.
+    assert trace.buffered_count(1, 3) == 2
+
+
+def test_figure6_fragmented_coalesce(benchmark):
+    """Algorithm 2 on Figure 6's grant-at-interval-5 scenario."""
+    obj = make_object(num_subobjects=8, degree=2)
+    trace = benchmark(
+        run_coalescing_lane, obj, 1, 2, 0, 5, 0
+    )
+    reads = [(e.interval, e.subobject) for e in trace.reads()]
+    outputs = [(e.interval, e.subobject) for e in trace.outputs()]
+    emit(
+        "Figure 6 (Algorithm 2): coalescing lane",
+        [{"phase": "reads", "events": str(reads)},
+         {"phase": "outputs", "events": str(outputs)}],
+    )
+    # Backlog X3.1/X4.1 drains at t=5-6 while reads pause; the new
+    # virtual disk resumes at t=7 with X5; delivery never gaps.
+    assert (5, 3) in outputs and (6, 4) in outputs
+    assert (7, 5) in reads
+    assert all(t not in [e.interval for e in trace.reads()] for t in (5, 6))
+    assert [t for t, _ in outputs] == list(range(2, 10))
+
+
+def test_figure7_low_bandwidth(benchmark):
+    """Figure 7: two half-bandwidth objects sharing one drive/interval."""
+    actions = benchmark(figure7_schedule, 6)
+    rows = [
+        {"half": a.half, "reads": ",".join(a.reads) or "-",
+         "transmits": ",".join(a.transmits)}
+        for a in actions[:8]
+    ]
+    emit("Figure 7: low-bandwidth sharing schedule", rows)
+    validate_figure7_schedule(actions)
+    assert actions[0].transmits == ("X0a",)
+    assert set(actions[1].transmits) == {"X0b", "Y0a"}
+    assert set(actions[2].transmits) == {"X1a", "Y0b"}

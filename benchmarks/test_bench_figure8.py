@@ -1,0 +1,60 @@
+"""Bench for Figure 8 — throughput vs display stations, striping vs VDR.
+
+Runs the proportionally scaled configuration (scale 10): station
+counts 1..25 stand for the paper's 1..256 and geometric means
+1 / 2 / 4.35 stand for 10 / 20 / 43.5.  Shape assertions follow the
+paper's reading of the figure:
+
+* striping ≥ VDR everywhere, with the gap widening under load;
+* throughput decreases as access becomes more uniform (tertiary
+  becomes the bottleneck).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figure8 import figure8_rows, run_figure8
+
+
+def test_figure8_curves(benchmark, quick_config):
+    curves = benchmark.pedantic(
+        run_figure8,
+        kwargs=dict(
+            scale=10,
+            stations=[1, 3, 6, 12, 25],
+            means=[1.0, 2.0, 4.35],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 8: displays/hour vs stations (scaled 1/10)",
+         figure8_rows(curves))
+
+    def series(mean, technique):
+        return {
+            p.stations: p.throughput_per_hour
+            for p in curves[mean]
+            if p.technique == technique
+        }
+
+    for mean in (1.0, 2.0, 4.35):
+        striping = series(mean, "simple")
+        vdr = series(mean, "vdr")
+        # Monotone-ish growth for striping up to saturation.
+        assert striping[25] >= striping[3] >= striping[1] * 0.99
+        # Striping at least matches VDR at every load...
+        for stations in (3, 6, 12, 25):
+            assert striping[stations] >= vdr[stations] * 0.95
+        # ...and clearly beats it at high load.
+        assert striping[25] > 1.2 * vdr[25]
+
+    # Throughput at saturation falls as access becomes uniform
+    # (fewer hits, tertiary bottleneck) — Figure 8's a→c trend.
+    assert series(1.0, "simple")[25] >= series(4.35, "simple")[25]
+    assert series(1.0, "vdr")[25] >= series(4.35, "vdr")[25]
+
+    # At low load the two techniques are comparable ("For a low number
+    # of display stations, both techniques provide approximately the
+    # same throughput") for the skewed distributions.
+    for mean in (1.0, 2.0):
+        assert series(mean, "simple")[1] <= 1.5 * series(mean, "vdr")[1]

@@ -1,0 +1,31 @@
+"""Bench: start-up latency distributions (the §3.1/§3.2.2 latency
+story measured end to end)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.latency_profile import latency_profiles
+
+
+def test_latency_profiles(benchmark, quick_config):
+    rows = benchmark.pedantic(
+        latency_profiles,
+        kwargs=dict(
+            config=quick_config.with_(measure_intervals=3000),
+            num_stations=12,
+            access_mean=1.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Start-up latency quantiles (12 stations, hot skew)", rows)
+    by_technique = {row["technique"]: row for row in rows}
+    striping, vdr = by_technique["simple"], by_technique["vdr"]
+    # Striping's pooled rotating slots: median waits around a service
+    # time; VDR's partitioned clusters: tail waits around a display
+    # time (the paper's k=M vs k=D argument, live).
+    assert striping["p50_s"] <= vdr["p50_s"] + 1.0
+    assert striping["p99_s"] < vdr["p99_s"]
+    assert striping["max_s"] < vdr["max_s"]
+    # The worst VDR wait approaches a display time (181 s scaled).
+    assert vdr["max_s"] > 60.0

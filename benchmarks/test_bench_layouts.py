@@ -1,0 +1,67 @@
+"""Benches for Figures 1, 3, 4, 5 — placement grids and the schedule.
+
+Each bench regenerates the paper's figure and asserts it cell-for-cell
+where the paper prints cells.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.layouts import (
+    figure1_grid,
+    figure3_schedule,
+    figure4_grid,
+    figure5_grid,
+    grid_to_text,
+)
+
+
+def test_figure1_simple_striping(benchmark):
+    grid = benchmark(figure1_grid, 4)
+    emit("Figure 1: simple striping (D=9, M=3)", grid_to_text(grid))
+    assert grid[0][:3] == ["X0.0", "X0.1", "X0.2"]
+    assert grid[1][3:6] == ["X1.0", "X1.1", "X1.2"]
+    assert grid[2][6:9] == ["X2.0", "X2.1", "X2.2"]
+    assert grid[3][:3] == ["X3.0", "X3.1", "X3.2"]
+
+
+def test_figure3_schedule(benchmark):
+    rows = benchmark(figure3_schedule)
+    emit("Figure 3: cluster schedule, 3 concurrent displays", rows)
+    # Active phase: every cluster reads every interval.
+    for row in rows[:3]:
+        assert all(v.startswith("read") for k, v in row.items()
+                   if k.startswith("cluster"))
+    # After X (3 subobjects) completes, one idle slot rotates:
+    # paper cells — cluster 0 idle at 3 and 6, cluster 1 at 4,
+    # cluster 2 at 5.
+    assert rows[3]["cluster 0"] == "idle"
+    assert rows[4]["cluster 1"] == "idle"
+    assert rows[5]["cluster 2"] == "idle"
+    assert rows[6]["cluster 0"] == "idle"
+
+
+def test_figure4_staggered(benchmark):
+    grid = benchmark(figure4_grid, 8)
+    emit("Figure 4: staggered striping (D=8, k=1)", grid_to_text(grid))
+    for i in range(8):
+        row = grid[i]
+        first = row.index(f"X{i}.0")
+        assert first == i % 8
+        assert row[(first + 1) % 8] == f"X{i}.1"
+        assert row[(first + 2) % 8] == f"X{i}.2"
+
+
+def test_figure5_mixed_media(benchmark):
+    grid = benchmark(figure5_grid, 13)
+    emit("Figure 5: mixed media (D=12, k=1, M=4/3/2)", grid_to_text(grid))
+    # Paper row 0.
+    assert grid[0] == [
+        "Y0.0", "Y0.1", "Y0.2", "Y0.3",
+        "X0.0", "X0.1", "X0.2", "Z0.0", "Z0.1", "", "", "",
+    ]
+    # Paper row 4 (first wrapped row).
+    assert grid[4][0] == "Z4.1"
+    assert grid[4][4:8] == ["Y4.0", "Y4.1", "Y4.2", "Y4.3"]
+    # Paper row 12 realigns with row 0 shifted zero (full cycle).
+    assert grid[12][0] == "Y12.0"

@@ -1,0 +1,39 @@
+"""Bench for §3.1's numeric example (Sabre drive, fragment-size
+trade-off, worst-case initiation delays)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.section31 import fragment_size_tradeoff, sabre_numbers
+
+
+def test_section31_sabre_numbers(benchmark):
+    numbers = benchmark(sabre_numbers)
+    emit("Section 3.1: Sabre drive numbers", [numbers])
+    # Paper values: S = 301.83 / 555.83 ms, waste 17.2% / ~10%,
+    # initiation delay ~9 s / ~16 s (90 disks, 30 clusters).
+    assert numbers["service_1cyl_ms"] == pytest.approx(301.83, abs=0.1)
+    assert numbers["service_2cyl_ms"] == pytest.approx(555.83, abs=0.1)
+    assert numbers["waste_1cyl_pct"] == pytest.approx(17.2, abs=0.1)
+    assert numbers["waste_2cyl_pct"] == pytest.approx(10.0, abs=0.2)
+    assert numbers["delay_90disks_1cyl_s"] == pytest.approx(9.0, abs=0.3)
+    assert numbers["delay_90disks_2cyl_s"] == pytest.approx(16.0, abs=0.3)
+
+
+def test_section31_fragment_size_tradeoff(benchmark):
+    rows = benchmark(fragment_size_tradeoff)
+    emit("Section 3.1: fragment-size trade-off", rows)
+    bandwidths = [r["effective_bandwidth_mbps"] for r in rows]
+    delays = [r["worst_delay_90disks_s"] for r in rows]
+    wastes = [r["wasted_percent"] for r in rows]
+    # Bandwidth up (desirable), latency up (undesirable), waste down.
+    assert bandwidths == sorted(bandwidths)
+    assert delays == sorted(delays)
+    assert wastes == sorted(wastes, reverse=True)
+    # Diminishing gains beyond 2 cylinders (the paper's justification
+    # for fixing fragments at 2 cylinders in §3).
+    gain_12 = bandwidths[1] - bandwidths[0]
+    gain_23 = bandwidths[2] - bandwidths[1]
+    assert gain_23 < gain_12 / 2

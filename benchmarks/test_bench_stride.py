@@ -1,0 +1,65 @@
+"""Benches for §3.2.2 (stride trade-offs) and §3.2.3 (rounding waste)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.stride import (
+    k_extremes_analysis,
+    rounding_waste_rows,
+    stride_sweep,
+)
+
+
+def test_stride_sweep(benchmark, quick_config):
+    """Throughput/latency/skew across strides, staggered striping.
+
+    Paper claims: k=D blocks colliding requests for a whole display
+    time; small k spreads objects thinner and raises expected rotation
+    latency; gcd(D,k)=1 guarantees no skew.
+    """
+    rows = benchmark.pedantic(
+        stride_sweep,
+        kwargs=dict(
+            strides=[1, 2, 5, 11, quick_config.num_disks],
+            config=quick_config,
+            num_stations=12,
+            access_mean=1.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Section 3.2.2: stride sweep (staggered, 12 stations)", rows)
+    by_k = {row["stride"]: row for row in rows}
+    d = quick_config.num_disks
+    # Skew-free exactly when gcd(D, k) = 1.
+    assert by_k[1]["skew_free"] and by_k[11]["skew_free"]
+    assert not by_k[2]["skew_free"] and not by_k[5]["skew_free"]
+    assert not by_k[d]["skew_free"]
+    assert by_k[1]["relative_skew"] == 0.0
+    # k = D pins each object to M drives; small k spreads it widely.
+    assert by_k[d]["disks_used"] == quick_config.degree
+    assert by_k[1]["disks_used"] == d
+    # k = D serialises colliding displays: far worse latency.
+    assert by_k[d]["max_latency_s"] > by_k[5]["max_latency_s"]
+    # Moderate strides sustain (near-)saturated throughput.
+    assert by_k[5]["displays_per_hour"] >= 0.8 * by_k[1]["displays_per_hour"]
+
+
+def test_k_extremes_closed_form(benchmark):
+    analysis = benchmark(k_extremes_analysis)
+    emit("Section 3.2.2: k extremes (closed form)", [analysis])
+    # The paper: with k=D a colliding request waits a whole display
+    # time — "very much larger and generally unacceptable" vs S(C_i).
+    assert analysis["kD_blocking_s"] > 10 * analysis["kM_worst_wait_s"]
+
+
+def test_rounding_waste(benchmark):
+    rows = benchmark(rounding_waste_rows)
+    emit("Section 3.2.3: whole-disk vs logical-half-disk waste", rows)
+    by_bw = {row["display_mbps"]: row for row in rows}
+    assert by_bw[30.0]["whole_disk_waste_pct"] == pytest.approx(25.0)
+    assert by_bw[30.0]["half_disk_waste_pct"] == pytest.approx(0.0)
+    for row in rows:
+        assert row["half_disk_waste_pct"] <= row["whole_disk_waste_pct"] + 1e-9

@@ -1,0 +1,39 @@
+"""Bench for §3.2.4 — tape layout: sequential vs fragment-ordered."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.tertiary import layout_cost_rows, simulated_comparison
+
+
+def test_tertiary_layout_costs(benchmark):
+    rows = benchmark(layout_cost_rows)
+    emit("Section 3.2.4: per-object materialisation cost", rows)
+    by_order = {row["tape_order"]: row for row in rows}
+    # The paper: a sequential recording repositions once per subobject,
+    # "spending a major fraction of its time repositioning its head
+    # (wasteful work) instead of producing data (useful work)".
+    assert by_order["sequential"]["wasted_pct"] > 50.0
+    assert by_order["fragment_ordered"]["wasted_pct"] < 1.0
+    assert by_order["sequential"]["repositions"] == 3000
+    assert by_order["fragment_ordered"]["repositions"] == 1
+
+
+def test_tertiary_layout_simulated(benchmark):
+    rows = benchmark.pedantic(
+        simulated_comparison,
+        kwargs=dict(scale=50, num_stations=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Section 3.2.4: simulated throughput under each tape order", rows)
+    by_order = {row["tape_order"]: row for row in rows}
+    # Fragment-ordered recordings keep the pipeline moving; sequential
+    # recordings burn the device on repositions and throughput drops.
+    assert (
+        by_order["fragment_ordered"]["displays_per_hour"]
+        > by_order["sequential"]["displays_per_hour"]
+    )
+    # Both keep the tertiary on the critical path in this workload.
+    assert by_order["sequential"]["tertiary_util"] > 0.3
+    assert by_order["fragment_ordered"]["materializations"] > 0

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Capacity planning with the §3 closed forms.
+
+Given a target media type and viewer count, size a staggered-striping
+server: drives, per-drive memory (Equation 1), worst-case start-up
+latency, fragment size, and the bandwidth headroom a playout buffer
+buys (the paper's §5 question).  Everything here is analytic — no
+simulation — and cross-checked by the test suite against the
+simulator.
+
+Run:  python examples/capacity_planning.py [--streams N] [--mbps B]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.analysis.bandwidth import bandwidth_table
+from repro.analysis.latency import worst_case_initiation_delay
+from repro.analysis.memory import minimum_memory
+from repro.analysis.reporting import format_table
+from repro.analysis.seek_buffering import (
+    average_overhead_bandwidth,
+    buffering_table,
+)
+from repro.hardware.disk import SABRE_DISK
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--streams", type=int, default=30,
+                        help="concurrent displays to support")
+    parser.add_argument("--mbps", type=float, default=60.0,
+                        help="display bandwidth of the media type")
+    parser.add_argument("--fragment-cylinders", type=int, default=2)
+    args = parser.parse_args()
+
+    disk = SABRE_DISK
+    b_disk = disk.effective_bandwidth(args.fragment_cylinders)
+    degree = math.ceil(args.mbps / b_disk)
+    num_disks = args.streams * degree
+    interval = disk.service_time(args.fragment_cylinders)
+    t_sector = 0.032768 / disk.transfer_rate  # 4 KB sectors
+
+    print(f"target: {args.streams} concurrent streams at {args.mbps:g} mbps")
+    print(f"drive:  {disk.name} -> B_disk = {b_disk:.2f} mbps at "
+          f"{args.fragment_cylinders}-cylinder fragments")
+    print()
+    rows = [
+        {"quantity": "degree of declustering M",
+         "value": degree},
+        {"quantity": "drives needed (D = streams x M)",
+         "value": num_disks},
+        {"quantity": "clusters R = D / M",
+         "value": num_disks // degree},
+        {"quantity": "interval S(C_i)",
+         "value": f"{interval * 1000:.1f} ms"},
+        {"quantity": "Eq. 1 memory per drive",
+         "value": f"{minimum_memory(b_disk, disk.t_switch, t_sector):.3f} mbit"},
+        {"quantity": "worst-case start-up latency (simple striping)",
+         "value": f"{worst_case_initiation_delay(disk, num_disks, degree, args.fragment_cylinders):.1f} s"},
+        {"quantity": "aggregate delivery bandwidth",
+         "value": f"{args.streams * args.mbps / 1000:.2f} gbps"},
+    ]
+    print(format_table(rows))
+
+    print("\nfragment-size trade-off (bandwidth vs start-up latency):\n")
+    tradeoff = bandwidth_table(disk, max_cylinders=4)
+    for row in tradeoff:
+        row["worst_latency_s"] = worst_case_initiation_delay(
+            disk, num_disks, degree, int(row["fragment_cylinders"])
+        )
+    print(format_table(tradeoff))
+
+    print("\nplayout buffering vs effective bandwidth (§5 study):\n")
+    buffered = [
+        {
+            "buffer_cylinders": row.buffer_cylinders,
+            "effective_mbps": round(row.effective_bandwidth_mbps, 2),
+            "gain_pct": round(row.gain_over_worst_case_pct, 2),
+        }
+        for row in buffering_table(disk, activations=10_000,
+                                   fragment_cylinders=args.fragment_cylinders)
+    ]
+    print(format_table(buffered))
+    ceiling = average_overhead_bandwidth(disk, args.fragment_cylinders)
+    print(f"\naverage-overhead ceiling: {ceiling:.2f} mbps — a one-cylinder "
+          f"buffer recovers most of the gap, which can shave a drive per "
+          f"{int(b_disk / max(ceiling - b_disk, 1e-9))} streams.")
+
+
+if __name__ == "__main__":
+    main()

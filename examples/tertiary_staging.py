@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Materialising objects from tertiary store (§3.2.4).
+
+Shows the cost of the tape layout decision: an object recorded
+*sequentially* forces the tertiary device to reposition at every
+subobject boundary, while the paper's *fragment-ordered* recording
+streams with one reposition.  Then runs a cold-start server (nothing
+preloaded) and reports how the tertiary queue drains.
+
+Run:  python examples/tertiary_staging.py
+"""
+
+from __future__ import annotations
+
+from repro import ScaledConfig, run_experiment
+from repro.analysis.reporting import format_table
+from repro.experiments.tertiary import layout_cost_rows, simulated_comparison
+from repro.media.tape_layout import TapeOrder
+
+
+def main() -> None:
+    print("Per-object materialisation cost (full-scale object, 40 mbps "
+          "tertiary, 5 s repositions):\n")
+    print(format_table(layout_cost_rows()))
+
+    print("\nSimulated cold-ish server under each tape order "
+          "(uniform access, database 10x disk capacity):\n")
+    print(format_table(simulated_comparison(scale=50, num_stations=6)))
+
+    print("\nCold start at 1/50 scale (no preload, fragment-ordered):")
+    config = ScaledConfig(
+        scale=50,
+        technique="staggered",
+        num_stations=4,
+        access_mean=1.0 / 5,
+        preload=False,
+        tape_order=TapeOrder.FRAGMENT_ORDERED,
+        warmup_intervals=0,
+        measure_intervals=4000,
+    )
+    result = run_experiment(config)
+    stats = result.policy_stats
+    print(
+        f"  displays/hour: {result.throughput_per_hour:.1f}   "
+        f"materialisations: {stats['tertiary_completed']:.0f}   "
+        f"tertiary utilisation: {stats['tertiary_utilization']:.0%}   "
+        f"hit rate after warm-up: {stats['hit_rate']:.0%}"
+    )
+    print(
+        "  the first displays were staged from tape; once the hot set "
+        "is resident, the fragment-ordered layout keeps the occasional "
+        "miss streaming instead of seeking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Effective disk bandwidth vs fragment size (§3.1).
+
+The paper's formula::
+
+    B_disk = tfr × size(fragment) / (size(fragment) + T_switch × tfr)
+
+and the derived waste percentages of the Sabre example: 17.2% for
+1-cylinder fragments, ~10% for 2 cylinders, with diminishing returns
+beyond (the stated reason the paper fixes fragments at 2 cylinders
+for §3 and 1 cylinder for the Table 3 simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.hardware.disk import DiskModel
+
+
+def effective_bandwidth(disk: DiskModel, fragment_cylinders: int = 1) -> float:
+    """``B_disk`` for the given fragment size (delegates to the model)."""
+    return disk.effective_bandwidth(fragment_cylinders)
+
+
+def wasted_fraction(disk: DiskModel, fragment_cylinders: int = 1) -> float:
+    """Fraction of an activation lost to seeks and rotational latency."""
+    return disk.wasted_fraction(fragment_cylinders)
+
+
+def paper_formula_bandwidth(disk: DiskModel, fragment_size: float) -> float:
+    """The paper's exact closed form (single contiguous read)::
+
+        tfr × frag / (frag + T_switch × tfr)
+
+    Matches :func:`effective_bandwidth` for 1-cylinder fragments; for
+    multi-cylinder fragments the model additionally charges the
+    track-to-track seeks between cylinders.
+    """
+    if fragment_size <= 0:
+        raise ConfigurationError(f"fragment_size must be > 0, got {fragment_size}")
+    tfr = disk.transfer_rate
+    return tfr * fragment_size / (fragment_size + disk.t_switch * tfr)
+
+
+def bandwidth_table(disk: DiskModel, max_cylinders: int = 8) -> List[Dict[str, float]]:
+    """Effective bandwidth / waste / service time per fragment size.
+
+    One row per fragment size from 1 to ``max_cylinders`` cylinders —
+    the data behind the §3.1 fragment-size trade-off discussion.
+    """
+    if max_cylinders < 1:
+        raise ConfigurationError(f"max_cylinders must be >= 1, got {max_cylinders}")
+    rows = []
+    for cylinders in range(1, max_cylinders + 1):
+        rows.append(
+            {
+                "fragment_cylinders": float(cylinders),
+                "service_time_ms": disk.service_time(cylinders) * 1000.0,
+                "effective_bandwidth_mbps": disk.effective_bandwidth(cylinders),
+                "wasted_percent": disk.wasted_fraction(cylinders) * 100.0,
+            }
+        )
+    return rows
+
+
+def marginal_gain(disk: DiskModel, cylinders: int) -> float:
+    """Bandwidth gained by growing the fragment one more cylinder —
+    quantifies the paper's "diminishing gains beyond 2 cylinders"."""
+    if cylinders < 1:
+        raise ConfigurationError(f"cylinders must be >= 1, got {cylinders}")
+    return disk.effective_bandwidth(cylinders + 1) - disk.effective_bandwidth(
+        cylinders
+    )

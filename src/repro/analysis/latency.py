@@ -1,0 +1,58 @@
+"""Display-initiation latency models (§3.1, §3.2.2).
+
+The paper's worst case for simple striping: with ``R`` clusters and
+``R-1`` requests in service, a new request waits up to
+``(R-1) × S(C_i)`` for the cluster holding its first subobject — about
+9 s for 1-cylinder fragments and 16 s for 2-cylinder fragments in the
+90-disk / 30-cluster example.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.hardware.disk import DiskModel
+
+
+def worst_case_initiation_delay(
+    disk: DiskModel, num_disks: int, degree: int, fragment_cylinders: int = 1
+) -> float:
+    """``(R - 1) × S(C_i)`` seconds for simple striping."""
+    if degree < 1 or num_disks < degree:
+        raise ConfigurationError(
+            f"invalid cluster shape: D={num_disks}, M={degree}"
+        )
+    clusters = num_disks // degree
+    return (clusters - 1) * disk.service_time(fragment_cylinders)
+
+
+def expected_contiguous_wait(
+    num_disks: int, stride: int, interval_length: float
+) -> float:
+    """Expected rotation wait (seconds) for a *uniformly placed* free
+    window to align with a request's start drive.
+
+    A free window realigns every ``D / gcd(D, k)`` intervals, so a
+    random phase waits half that on average.  Quantifies §3.2.2's
+    observation that display latency grows as the stride shrinks
+    (``k=1`` spreads an object over more drives but rotates through
+    ``D`` positions instead of ``R``).
+    """
+    if not 1 <= stride <= num_disks:
+        raise ConfigurationError(f"stride must be in 1..{num_disks}, got {stride}")
+    if interval_length <= 0:
+        raise ConfigurationError(
+            f"interval_length must be > 0, got {interval_length}"
+        )
+    period = num_disks // math.gcd(num_disks, stride)
+    return (period - 1) / 2.0 * interval_length
+
+
+def k_equals_d_blocking_time(object_size: float, display_bandwidth: float) -> float:
+    """Worst-case wait with ``k = D`` (virtual-replication placement):
+    a colliding request waits a whole display time (§3.2.2's argument
+    against large strides)."""
+    if object_size <= 0 or display_bandwidth <= 0:
+        raise ConfigurationError("object_size and display_bandwidth must be > 0")
+    return object_size / display_bandwidth

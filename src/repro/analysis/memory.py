@@ -1,0 +1,43 @@
+"""Memory-requirement models (Equation 1, §3.2.1, §3.2.3)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import minimum_display_memory
+
+
+def minimum_memory(
+    effective_bandwidth: float, t_switch: float, t_sector: float
+) -> float:
+    """Equation 1: ``B_disk × (T_switch + T_sector)`` megabits per
+    drive — the floor below which cluster switches cause hiccups."""
+    return minimum_display_memory(effective_bandwidth, t_switch, t_sector)
+
+
+def fragmentation_buffer_demand(
+    lane_offsets: List[int], fragment_size: float
+) -> float:
+    """Staging memory (megabits) of a time-fragmented display.
+
+    Lane ``j`` buffers each fragment ``w_offset_j`` intervals, holding
+    ``w_offset_j`` fragments at steady state (§3.2.1); the display's
+    demand is the sum over lanes.
+    """
+    if fragment_size <= 0:
+        raise ConfigurationError(f"fragment_size must be > 0, got {fragment_size}")
+    if any(offset < 0 for offset in lane_offsets):
+        raise ConfigurationError("lane offsets must be >= 0")
+    return sum(lane_offsets) * fragment_size
+
+
+def low_bandwidth_buffer_demand(fragment_size: float, num_sharers: int = 2) -> float:
+    """Extra buffering (megabits per drive) of §3.2.3's logical-disk
+    sharing: each of the ``num_sharers`` streams keeps up to half a
+    fragment staged across the half-interval boundary."""
+    if num_sharers < 2:
+        raise ConfigurationError(f"num_sharers must be >= 2, got {num_sharers}")
+    if fragment_size <= 0:
+        raise ConfigurationError(f"fragment_size must be > 0, got {fragment_size}")
+    return num_sharers * fragment_size / 2.0

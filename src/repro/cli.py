@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``     derived quantities of a configuration (Table 3 arithmetic)
+``run``      one experiment (technique × stations × skew)
+``sweep``    a station sweep for one technique
+``figure8``  the Figure 8 grid (both techniques, all skews)
+``table4``   the Table 4 improvement matrix
+
+All simulation commands accept ``--scale`` (1 = the paper's full
+parameters) and ``--output FILE.csv|FILE.json`` to export the rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figure8 import (
+    base_config,
+    figure8_rows,
+    run_figure8,
+    scaled_means,
+    scaled_stations,
+)
+from repro.experiments.table4 import run_table4, scaled_table4_stations
+from repro.simulation.config import SimulationConfig
+from repro.simulation.export import write_csv, write_json
+from repro.simulation.runner import run_experiment, run_sweep, sweep_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=10,
+                        help="linear scale divisor (1 = full paper scale)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", default=None,
+                        help="export rows to FILE.csv or FILE.json")
+
+
+def _add_workload(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--technique", default="simple",
+                        choices=["simple", "staggered", "vdr"])
+    parser.add_argument("--stations", type=int, default=16)
+    parser.add_argument("--mean", type=float, default=None,
+                        help="geometric access mean (omit for the scaled "
+                             "default of the paper's 'highly skewed')")
+    parser.add_argument("--uniform", action="store_true",
+                        help="uniform access over the whole database")
+    parser.add_argument("--stride", type=int, default=None)
+
+
+def _config(args) -> SimulationConfig:
+    config = base_config(args.scale).with_(seed=args.seed)
+    if getattr(args, "technique", None):
+        config = config.with_(technique=args.technique)
+    if getattr(args, "stride", None) is not None:
+        config = config.with_(stride=args.stride)
+    if getattr(args, "stations", None) is not None:
+        config = config.with_(num_stations=args.stations)
+    if getattr(args, "uniform", False):
+        config = config.with_(access_mean=None)
+    elif getattr(args, "mean", None) is not None:
+        config = config.with_(access_mean=args.mean)
+    return config
+
+
+def _emit(rows: List[Dict], output: Optional[str]) -> None:
+    print(format_table(rows))
+    if output:
+        if output.endswith(".json"):
+            path = write_json(rows, output)
+        else:
+            path = write_csv(rows, output)
+        print(f"\nwrote {path}")
+
+
+def cmd_info(args) -> int:
+    config = _config(args)
+    rows = [
+        {"quantity": "technique", "value": config.technique},
+        {"quantity": "disks (D)", "value": config.num_disks},
+        {"quantity": "degree of declustering (M)", "value": config.degree},
+        {"quantity": "clusters (R)", "value": config.num_clusters},
+        {"quantity": "stride (k)",
+         "value": "n/a" if config.technique == "vdr"
+         else config.effective_stride},
+        {"quantity": "B_disk (mbps)", "value": round(config.disk_bandwidth, 3)},
+        {"quantity": "interval S(C_i) (ms)",
+         "value": round(config.interval_length * 1000, 2)},
+        {"quantity": "objects", "value": config.num_objects},
+        {"quantity": "subobjects/object", "value": config.num_subobjects},
+        {"quantity": "object size (mbit)", "value": round(config.object_size, 1)},
+        {"quantity": "display time (s)", "value": round(config.display_time, 1)},
+        {"quantity": "disk-resident objects",
+         "value": config.max_resident_objects},
+        {"quantity": "database / disk capacity",
+         "value": round(config.database_size / config.disk_capacity, 2)},
+    ]
+    _emit(rows, args.output)
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    print(f"running: {config.describe()}")
+    result = run_experiment(config)
+    _emit([result.summary()], args.output)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _config(args)
+    stations = args.values or scaled_stations(args.scale)
+    results = run_sweep(config, "num_stations", stations)
+    _emit(sweep_table(results), args.output)
+    return 0
+
+
+def cmd_figure8(args) -> int:
+    stations = args.values or scaled_stations(args.scale)
+    curves = run_figure8(
+        scale=args.scale, stations=stations, means=scaled_means(args.scale)
+    )
+    _emit(figure8_rows(curves), args.output)
+    return 0
+
+
+def cmd_table4(args) -> int:
+    rows = run_table4(
+        scale=args.scale,
+        stations=args.values or scaled_table4_stations(args.scale),
+        means=scaled_means(args.scale),
+    )
+    _emit(rows, args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Staggered-striping multimedia-server simulator "
+                    "(SIGMOD '94 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="derived configuration quantities")
+    _add_common(p_info)
+    _add_workload(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_common(p_run)
+    _add_workload(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep station counts")
+    _add_common(p_sweep)
+    _add_workload(p_sweep)
+    p_sweep.add_argument("--values", type=int, nargs="*", default=None,
+                         help="station counts (default: Figure 8's axis)")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig8 = sub.add_parser("figure8", help="reproduce Figure 8")
+    _add_common(p_fig8)
+    p_fig8.add_argument("--values", type=int, nargs="*", default=None)
+    p_fig8.set_defaults(func=cmd_figure8)
+
+    p_tab4 = sub.add_parser("table4", help="reproduce Table 4")
+    _add_common(p_tab4)
+    p_tab4.add_argument("--values", type=int, nargs="*", default=None)
+    p_tab4.set_defaults(func=cmd_table4)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Admission control: allocating virtual disks to new displays.
+
+Two modes, matching the paper's two levels of sophistication:
+
+* :attr:`AdmissionMode.CONTIGUOUS` — the display starts only when the
+  ``M`` virtual disks currently over drives ``p .. p+M-1`` are *all*
+  free (the simple-striping discipline: the whole logical cluster is
+  claimed at once, all lanes aligned, no buffering).
+* :attr:`AdmissionMode.FRAGMENTED` — lanes are claimed lazily, one
+  whenever a free virtual disk rotates over that lane's target drive
+  (§3.2.1).  Early lanes read ahead into buffers; delivery starts when
+  the last lane comes online (Algorithm 1's ``w_offset`` machinery).
+
+Claiming is *lazy* — a lane takes the slot that is over its target
+drive **now**, never reserving a slot that is still rotating towards
+it.  This is behaviourally identical to the paper's "wait until
+``physical(z_i) = p+i``" (the read schedule is the same) but lets the
+slot serve other work during the rotation wait, so it is never worse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.display import Display
+from repro.core.virtual_disks import SlotPool
+from repro.errors import AdmissionError
+
+
+class AdmissionMode(enum.Enum):
+    """How lanes acquire virtual disks."""
+
+    CONTIGUOUS = "contiguous"
+    FRAGMENTED = "fragmented"
+
+
+@dataclass
+class AdmissionPlan:
+    """Result of one admission attempt for one display."""
+
+    display: Display
+    claimed_now: List[int] = field(default_factory=list)
+    complete: bool = False
+
+
+class Admitter:
+    """Claims virtual disks for displays against a :class:`SlotPool`."""
+
+    def __init__(self, pool: SlotPool, mode: AdmissionMode = AdmissionMode.FRAGMENTED):
+        self.pool = pool
+        self.mode = mode
+
+    def __repr__(self) -> str:
+        return f"<Admitter mode={self.mode.value} pool={self.pool!r}>"
+
+    def try_claim(self, display: Display, interval: int) -> AdmissionPlan:
+        """Attempt to claim (more) lanes for ``display`` at ``interval``.
+
+        Returns a plan describing which lanes were claimed this call
+        and whether the display is now fully laned.  In CONTIGUOUS
+        mode the claim is all-or-nothing; in FRAGMENTED mode it is
+        incremental.
+        """
+        if self.mode is AdmissionMode.CONTIGUOUS:
+            return self._claim_contiguous(display, interval)
+        return self._claim_fragmented(display, interval)
+
+    # ------------------------------------------------------------------
+    # CONTIGUOUS: all-or-nothing, aligned window
+    # ------------------------------------------------------------------
+    def _claim_contiguous(self, display: Display, interval: int) -> AdmissionPlan:
+        plan = AdmissionPlan(display=display)
+        if display.fully_laned:
+            plan.complete = True
+            return plan
+        pool = self.pool
+        d = pool.num_disks
+        window = [
+            pool.slot_at((display.start_disk + lane.fragment) % d, interval)
+            for lane in display.lanes
+        ]
+        halves = display.lane_halves()
+        if not all(
+            pool.is_free(slot, h) for slot, h in zip(window, halves)
+        ):
+            return plan
+        for lane, slot, h in zip(display.lanes, window, halves):
+            pool.claim(slot, display.display_id, halves=h)
+            lane.slot = slot
+            lane.ready = interval
+            plan.claimed_now.append(slot)
+        plan.complete = True
+        return plan
+
+    # ------------------------------------------------------------------
+    # FRAGMENTED: lazy incremental claims (§3.2.1)
+    # ------------------------------------------------------------------
+    def _claim_fragmented(self, display: Display, interval: int) -> AdmissionPlan:
+        plan = AdmissionPlan(display=display)
+        pool = self.pool
+        d = pool.num_disks
+        halves = display.lane_halves()
+        for lane, h in zip(display.lanes, halves):
+            if lane.claimed:
+                continue
+            target = (display.start_disk + lane.fragment) % d
+            slot = pool.slot_at(target, interval)
+            if pool.is_free(slot, h):
+                pool.claim(slot, display.display_id, halves=h)
+                lane.slot = slot
+                lane.ready = interval
+                plan.claimed_now.append(slot)
+        plan.complete = display.fully_laned
+        return plan
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release_lane(self, display: Display, fragment: int) -> None:
+        """Return one lane's slot to the pool (end of its read sweep)."""
+        lane = display.lanes[fragment]
+        if lane.slot is None:
+            raise AdmissionError(
+                f"display {display.display_id} lane {fragment} holds no slot"
+            )
+        self.pool.release(lane.slot, display.display_id)
+
+    def abort(self, display: Display) -> int:
+        """Return every slot of an aborted display; returns the count."""
+        return self.pool.release_all(display.display_id)
+
+
+def worst_case_contiguous_wait(num_disks: int, stride: int) -> int:
+    """Upper bound on intervals a CONTIGUOUS claim can wait for its
+    aligned window, assuming some window of free slots exists.
+
+    A given free window realigns with the start drive every
+    ``D / gcd(D, k)`` intervals; with simple striping (``k = M``,
+    cluster-aligned placements) this is the paper's ``R`` clusters, so
+    the worst-case initiation delay is ``(R-1) × S(C_i)`` (§3.1).
+    """
+    import math
+
+    return num_disks // math.gcd(num_disks, stride) - 1

@@ -1,0 +1,205 @@
+"""Algorithm 1: time-fragmented delivery without coalescing (§3.2.1).
+
+The paper's ``simple_combined_algorithm`` runs one thread per virtual
+disk.  Each thread waits until its virtual disk rotates over the
+physical drive holding its first fragment, then for
+``n + w_offset`` intervals reads one fragment per interval (while
+``t < n``) and delivers one fragment per interval (while
+``t >= w_offset``), where ``w_offset`` is how many intervals this
+lane runs ahead of the display's slowest lane.
+
+This module ports that algorithm faithfully onto the
+:mod:`repro.sim` kernel (one generator process per lane) and records
+a :class:`DeliveryTrace` that tests compare against the paper's
+Figure 6 timeline.  The production engine
+(:mod:`repro.simulation.engine`) uses the closed-form equivalent
+(:class:`repro.core.display.Display`); the property tests assert the
+two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.virtual_disks import SlotPool
+from repro.errors import SchedulingError
+from repro.media.objects import MediaObject
+from repro.sim.kernel import Simulation, hold
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One read or output action of a lane thread."""
+
+    interval: int
+    action: str  # "read" | "output"
+    lane: int
+    subobject: int
+
+
+@dataclass
+class DeliveryTrace:
+    """Chronological record of lane actions, with validation helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, interval: int, action: str, lane: int, subobject: int) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(interval, action, lane, subobject))
+
+    def reads(self) -> List[TraceEvent]:
+        """All read events in order."""
+        return [e for e in self.events if e.action == "read"]
+
+    def outputs(self) -> List[TraceEvent]:
+        """All output events in order."""
+        return [e for e in self.events if e.action == "output"]
+
+    def outputs_by_interval(self) -> Dict[int, List[TraceEvent]]:
+        """Output events grouped by interval."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self.outputs():
+            grouped.setdefault(event.interval, []).append(event)
+        return grouped
+
+    def delivered_subobjects(self) -> List[int]:
+        """Subobjects fully delivered (all lanes output), in completion
+        order.  Raises if lanes of one subobject were output in
+        different intervals (a hiccup)."""
+        by_subobject: Dict[int, List[int]] = {}
+        lanes = {e.lane for e in self.events}
+        for event in self.outputs():
+            by_subobject.setdefault(event.subobject, []).append(event.interval)
+        delivered = []
+        for subobject in sorted(by_subobject):
+            intervals = by_subobject[subobject]
+            if len(set(intervals)) != 1:
+                raise SchedulingError(
+                    f"hiccup: subobject {subobject} lanes output at "
+                    f"different intervals {sorted(set(intervals))}"
+                )
+            if len(intervals) != len(lanes):
+                raise SchedulingError(
+                    f"subobject {subobject} delivered by {len(intervals)} of "
+                    f"{len(lanes)} lanes"
+                )
+            delivered.append(subobject)
+        return delivered
+
+    def buffered_count(self, lane: int, interval: int) -> int:
+        """Fragments lane ``lane`` holds in buffer at end of ``interval``
+        (read but not yet output)."""
+        reads = sum(
+            1
+            for e in self.events
+            if e.lane == lane and e.action == "read" and e.interval <= interval
+        )
+        outputs = sum(
+            1
+            for e in self.events
+            if e.lane == lane and e.action == "output" and e.interval <= interval
+        )
+        return reads - outputs
+
+
+class IntervalEnvironment:
+    """Adapter giving lane threads an interval-granular view of the
+    DES kernel: ``interval == int(sim.now)`` with unit interval length."""
+
+    def __init__(self, sim: Simulation, pool: SlotPool) -> None:
+        self.sim = sim
+        self.pool = pool
+        self.trace = DeliveryTrace()
+
+    @property
+    def interval(self) -> int:
+        """Current interval index."""
+        return int(round(self.sim.now))
+
+    def physical(self, slot: int) -> int:
+        """Physical drive under ``slot`` this interval."""
+        return self.pool.physical_of(slot, self.interval)
+
+    def initiate_read(self, lane: int, subobject: int) -> None:
+        """Record a fragment read this interval."""
+        self.trace.record(self.interval, "read", lane, subobject)
+
+    def initiate_output(self, lane: int, subobject: int) -> None:
+        """Record a fragment delivery this interval."""
+        self.trace.record(self.interval, "output", lane, subobject)
+
+
+def simple_combined_algorithm(
+    env: IntervalEnvironment,
+    obj: MediaObject,
+    start_disk: int,
+    lane: int,
+    slot: int,
+    w_offset: int,
+):
+    """Generator process: the paper's Algorithm 1 for one lane.
+
+    Parameters mirror the pseudocode: the object ``X`` with ``n``
+    subobjects, the drive ``p`` holding ``X_{0.0}``, the lane's
+    fragment index ``i``, its virtual disk ``z_i``, and ``w_offset``
+    (how long each fragment is buffered before delivery; the paper
+    computes it as ``z_i - z_0 - i`` in its frame labelling, which
+    equals ``deliver_start - ready_i`` in ours).
+    """
+    n = obj.num_subobjects
+    target = (start_disk + lane) % env.pool.num_disks
+    # Line 3: wait until physical(z_i) = p + i.
+    while env.physical(slot) != target:
+        yield hold(1.0)
+    # Lines 4-7: read while t < n, output while t >= w_offset.
+    for t in range(n + w_offset):
+        if t < n:
+            env.initiate_read(lane, t)
+        if t >= w_offset:
+            env.initiate_output(lane, t - w_offset)
+        yield hold(1.0)
+
+
+def run_fragmented_delivery(
+    obj: MediaObject,
+    start_disk: int,
+    lane_slots: Sequence[int],
+    pool: SlotPool,
+    start_interval: int = 0,
+) -> Tuple[DeliveryTrace, List[int]]:
+    """Run Algorithm 1 for a whole display on the DES kernel.
+
+    ``lane_slots[j]`` is the virtual disk assigned to lane ``j``; each
+    must eventually pass over drive ``start_disk + j``.  Returns the
+    trace and the per-lane ``w_offset`` values.
+
+    Raises :class:`SchedulingError` when a slot can never reach its
+    lane's target drive (possible when ``gcd(k, D) > 1``).
+    """
+    if len(lane_slots) != obj.degree:
+        raise SchedulingError(
+            f"need {obj.degree} lane slots, got {len(lane_slots)}"
+        )
+    arrivals: List[int] = []
+    for j, slot in enumerate(lane_slots):
+        target = (start_disk + j) % pool.num_disks
+        arrival = pool.arrival(slot, target, start_interval)
+        if arrival is None:
+            raise SchedulingError(
+                f"slot {slot} can never reach drive {target} with "
+                f"stride {pool.stride} over {pool.num_disks} disks"
+            )
+        arrivals.append(arrival)
+    deliver_start = max(arrivals)
+    offsets = [deliver_start - a for a in arrivals]
+
+    sim = Simulation()
+    env = IntervalEnvironment(sim, pool)
+    for j, slot in enumerate(lane_slots):
+        sim.spawn(
+            simple_combined_algorithm(env, obj, start_disk, j, slot, offsets[j]),
+            name=f"lane-{j}",
+        )
+    sim.run()
+    return env.trace, offsets

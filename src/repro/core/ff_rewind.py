@@ -1,0 +1,129 @@
+"""Rewind, fast-forward, and fast-forward-with-scan (§3.2.5).
+
+Three operations on an active display:
+
+* **Reposition** (rewind / fast-forward without display): jump to any
+  subobject.  Either wait for the display's own virtual disks to
+  rotate to the target's drives, or re-admit immediately on idle
+  drives; no hiccup is observable because nothing is displayed while
+  seeking.
+* **Fast-forward with scan**: display roughly every 16th frame.  The
+  data layout serves normal-rate delivery, so the paper stores a small
+  *fast-forward replica* per object and switches the display to it.
+
+This module provides the replica construction, position mapping
+between an object and its replica, and the reposition planning used by
+the scheduler's :meth:`~repro.core.scheduler.StaggeredStripingPolicy.reposition`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.media.objects import MediaObject, MediaType
+
+#: VHS-style scan rate: "typical fast forward scans of VHS video
+#: display approximately every sixteenth frame".
+DEFAULT_SCAN_RATE = 16
+
+
+def build_ff_replica(
+    obj: MediaObject, replica_id: int, scan_rate: int = DEFAULT_SCAN_RATE
+) -> MediaObject:
+    """Construct the fast-forward replica of ``obj``.
+
+    The replica holds every ``scan_rate``-th frame, displayed at the
+    *normal* media bandwidth, so it is ``1/scan_rate`` of the object's
+    size ("a small fraction of the size of a subobject" per position)
+    and covers the object ``scan_rate`` times faster.
+    """
+    if scan_rate < 2:
+        raise ConfigurationError(f"scan_rate must be >= 2, got {scan_rate}")
+    replica_subobjects = max(1, math.ceil(obj.num_subobjects / scan_rate))
+    return MediaObject(
+        object_id=replica_id,
+        media_type=MediaType(
+            name=f"{obj.media_type.name}-ff", display_bandwidth=obj.display_bandwidth
+        ),
+        num_subobjects=replica_subobjects,
+        degree=obj.degree,
+        fragment_size=obj.fragment_size,
+    )
+
+
+def replica_position(
+    obj: MediaObject, replica: MediaObject, subobject: int
+) -> int:
+    """Replica subobject covering normal-speed position ``subobject``."""
+    if not 0 <= subobject < obj.num_subobjects:
+        raise ConfigurationError(f"subobject {subobject} out of range")
+    scaled = subobject * replica.num_subobjects // obj.num_subobjects
+    return min(scaled, replica.num_subobjects - 1)
+
+
+def normal_position(
+    obj: MediaObject, replica: MediaObject, replica_subobject: int
+) -> int:
+    """Normal-speed subobject to resume at after scanning to
+    ``replica_subobject``."""
+    if not 0 <= replica_subobject < replica.num_subobjects:
+        raise ConfigurationError(
+            f"replica subobject {replica_subobject} out of range"
+        )
+    scaled = replica_subobject * obj.num_subobjects // replica.num_subobjects
+    return min(scaled, obj.num_subobjects - 1)
+
+
+@dataclass(frozen=True)
+class RepositionPlan:
+    """How a display jumps to a new position within its object.
+
+    Attributes
+    ----------
+    target_subobject:
+        The subobject delivery resumes from.
+    target_start_disk:
+        Drive holding the target subobject's first fragment —
+        re-admission aims its lanes there.
+    rotation_wait:
+        Intervals until the display's *current* virtual disks rotate
+        over the target drives (the paper's "wait for the set of disks
+        servicing the request to advance"); re-admitting on other idle
+        drives may beat this.
+    """
+
+    target_subobject: int
+    target_start_disk: int
+    rotation_wait: int
+
+
+def plan_reposition(
+    obj: MediaObject,
+    start_disk: int,
+    num_disks: int,
+    stride: int,
+    current_subobject: int,
+    target_subobject: int,
+) -> RepositionPlan:
+    """Plan a rewind/fast-forward jump.
+
+    The display's virtual disks currently sit over the drives of
+    ``current_subobject``; the target's drives are
+    ``(target - current) × k`` further along, so keeping the same
+    virtual disks means waiting ``(target - current) mod (D/gcd)``
+    intervals for the frame to rotate there.
+    """
+    if not 0 <= target_subobject < obj.num_subobjects:
+        raise ConfigurationError(f"target {target_subobject} out of range")
+    if not 0 <= current_subobject < obj.num_subobjects:
+        raise ConfigurationError(f"current {current_subobject} out of range")
+    target_disk = (start_disk + target_subobject * stride) % num_disks
+    period = num_disks // math.gcd(stride, num_disks)
+    rotation_wait = (target_subobject - current_subobject) % period
+    return RepositionPlan(
+        target_subobject=target_subobject,
+        target_start_disk=target_disk,
+        rotation_wait=rotation_wait,
+    )

@@ -1,0 +1,76 @@
+"""The fixed time-interval clock (§3.1).
+
+Simple and staggered striping quantise time into intervals of length
+``S(C_i)`` — the cluster service time per activation.  The interval
+length is a system-wide constant because the fragment size is the same
+for every object regardless of media type (§3.2): an object with a
+larger ``B_display`` is declustered over more drives, not read longer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.disk import DiskModel
+
+
+@dataclass(frozen=True)
+class IntervalClock:
+    """Conversion between interval indices and simulated seconds.
+
+    Parameters
+    ----------
+    interval_length:
+        ``S(C_i)`` in seconds.
+    """
+
+    interval_length: float
+
+    def __post_init__(self) -> None:
+        if self.interval_length <= 0:
+            raise ConfigurationError(
+                f"interval_length must be > 0, got {self.interval_length}"
+            )
+
+    @classmethod
+    def for_disk(cls, disk: DiskModel, fragment_cylinders: int = 1) -> "IntervalClock":
+        """Clock whose interval is the drive's ``S(C_i)``."""
+        return cls(interval_length=disk.service_time(fragment_cylinders))
+
+    @classmethod
+    def for_effective_bandwidth(
+        cls, fragment_size: float, effective_bandwidth: float
+    ) -> "IntervalClock":
+        """Clock from the bandwidth identity
+        ``S = size(fragment) / B_disk`` — one fragment is consumed per
+        interval at the display rate, so producing one fragment per
+        interval at the effective disk rate keeps the pipeline full."""
+        if fragment_size <= 0 or effective_bandwidth <= 0:
+            raise ConfigurationError("fragment_size and bandwidth must be > 0")
+        return cls(interval_length=fragment_size / effective_bandwidth)
+
+    def time_of(self, interval: int) -> float:
+        """Start time (seconds) of interval ``interval``."""
+        return interval * self.interval_length
+
+    def interval_of(self, time: float) -> int:
+        """Index of the interval containing ``time``."""
+        if time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {time}")
+        return int(math.floor(time / self.interval_length + 1e-12))
+
+    def intervals_for(self, duration: float) -> int:
+        """Whole intervals needed to cover ``duration`` seconds."""
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        return int(math.ceil(duration / self.interval_length - 1e-12))
+
+    def display_intervals(self, num_subobjects: int) -> int:
+        """Intervals to display an object: one subobject per interval."""
+        if num_subobjects < 1:
+            raise ConfigurationError(
+                f"num_subobjects must be >= 1, got {num_subobjects}"
+            )
+        return num_subobjects

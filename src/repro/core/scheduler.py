@@ -1,0 +1,508 @@
+"""The Centralized Scheduler for staggered striping (§4.1).
+
+:class:`StaggeredStripingPolicy` wires the three managers together:
+
+* the **Object Manager** decides residency and eviction (LFU);
+* the **Disk Manager** owns placement and the rotating slot pool;
+* the **Tertiary Manager** serialises materialisations.
+
+Per interval the policy releases finished lanes, completes
+materialisations, walks the admission queue claiming virtual disks for
+waiting displays (contiguous or time-fragmented per the configured
+:class:`~repro.core.admission.AdmissionMode`), and reports completed
+displays.
+
+Setting the stride to ``M`` yields the paper's **simple striping**;
+stride 1 is classic staggered striping; any other stride is accepted
+(§3.2.2 discusses the trade-offs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.admission import AdmissionMode, Admitter
+from repro.core.display import Display, Lane
+from repro.core.disk_manager import DiskManager
+from repro.core.ff_rewind import plan_reposition
+from repro.core.lowbw import degree_in_halves
+from repro.core.object_manager import ObjectManager
+from repro.core.tertiary_manager import TertiaryManager
+from repro.errors import ConfigurationError, SchedulingError
+from repro.media.catalog import Catalog
+from repro.media.objects import MediaObject
+from repro.sim.monitor import Tally
+from repro.simulation.policy import Completion, Request, StoragePolicy
+
+
+@dataclass
+class _QueueEntry:
+    """One waiting (or partially admitted) request."""
+
+    request: Request
+    display: Optional[Display] = None
+    deferred_placement: bool = False
+
+
+class StaggeredStripingPolicy(StoragePolicy):
+    """Staggered striping as a pluggable storage policy.
+
+    Parameters
+    ----------
+    catalog:
+        The database.
+    disk_manager:
+        Placement + slot pool (fixes ``D`` and the stride ``k``).
+    object_manager:
+        Residency + replacement.
+    tertiary_manager:
+        Materialisation queue (may be ``None`` for disk-only setups —
+        every object must then be preloaded).
+    admission_mode:
+        CONTIGUOUS (all lanes at once) or FRAGMENTED (§3.2.1 lazy
+        claims with buffering).
+    queue_discipline:
+        How the admission queue is walked each interval — the paper's
+        §5 poses this as an open fairness question, so several
+        disciplines are provided:
+
+        * ``"scan"`` (default) — non-blocking FIFO: walk the whole
+          queue in arrival order, admitting whoever can claim.
+        * ``"fcfs"`` — strict head-of-line order: stop at the first
+          request that cannot finish claiming.
+        * ``"sjf"`` — smallest job first: walk in ascending degree of
+          declustering (small requests get priority), FIFO within a
+          degree class.
+        * ``"largest_first"`` — descending degree (wide displays are
+          the hardest to place; give them first pick of free slots).
+    half_slot_objects:
+        When True, objects whose bandwidth is below (or not a multiple
+        of) the disk bandwidth are admitted on logical half-disks
+        (§3.2.3).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        disk_manager: DiskManager,
+        object_manager: ObjectManager,
+        tertiary_manager: Optional[TertiaryManager] = None,
+        admission_mode: AdmissionMode = AdmissionMode.FRAGMENTED,
+        queue_discipline: str = "scan",
+        half_slot_objects: bool = False,
+        disk_bandwidth: Optional[float] = None,
+        event_log=None,
+    ) -> None:
+        if queue_discipline not in ("scan", "fcfs", "sjf", "largest_first"):
+            raise ConfigurationError(
+                f"queue_discipline must be one of scan/fcfs/sjf/"
+                f"largest_first, got {queue_discipline!r}"
+            )
+        if half_slot_objects and disk_bandwidth is None:
+            raise ConfigurationError(
+                "half_slot_objects requires disk_bandwidth to derive degrees"
+            )
+        self.catalog = catalog
+        self.disk_manager = disk_manager
+        self.object_manager = object_manager
+        self.tertiary_manager = tertiary_manager
+        self.admitter = Admitter(disk_manager.pool, mode=admission_mode)
+        self.queue_discipline = queue_discipline
+        self.half_slot_objects = half_slot_objects
+        self.disk_bandwidth = disk_bandwidth
+        self.event_log = event_log
+
+        self._queue: List[_QueueEntry] = []
+        self._active: Dict[int, Display] = {}
+        self._display_request: Dict[int, Request] = {}
+        self._cancelled: Set[int] = set()
+        self._display_seq = 0
+        # Heaps of scheduled events.  Lane releases carry the slot so a
+        # slot can be returned even after its display completed.
+        self._lane_releases: List[Tuple[int, int, int]] = []  # (t, disp, slot)
+        self._completions: List[Tuple[int, int]] = []  # (t, disp)
+        # Statistics.
+        self.completed = 0
+        self.startup_latency = Tally(name="staggered.startup")
+        self.queue_length_sum = 0
+        self.intervals_advanced = 0
+        # §3.2.1 trade-off accounting: staging memory held by
+        # time-fragmented displays (early lanes buffering fragments).
+        self._staging_memory = 0.0
+        self.peak_staging_memory = 0.0
+        self.fragmented_admissions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<StaggeredStripingPolicy k={self.disk_manager.stride} "
+            f"queue={len(self._queue)} active={len(self._active)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # StoragePolicy interface
+    # ------------------------------------------------------------------
+    def preload(self, object_ids: List[int]) -> None:
+        """Place and mark resident without tertiary cost (warm start)."""
+        for object_id in object_ids:
+            obj = self.catalog.get(object_id)
+            if obj.size - self.object_manager.free_capacity > 1e-6:
+                raise ConfigurationError(
+                    f"preload overflows disk capacity at object {object_id}"
+                )
+            self.disk_manager.place_object(obj)
+            self.object_manager.add_resident(object_id)
+
+    def submit(self, request: Request, interval: int) -> None:
+        """A request enters: record access, start a materialisation on
+        a miss, and queue for admission."""
+        obj = self.catalog.get(request.object_id)
+        self.object_manager.pin(request.object_id)
+        hit = self.object_manager.record_access(request.object_id, interval)
+        entry = _QueueEntry(request=request)
+        if not hit and not self._materialization_pending(request.object_id):
+            entry.deferred_placement = not self._start_materialization(
+                obj, interval
+            )
+        self._queue.append(entry)
+
+    def advance(self, interval: int) -> List[Completion]:
+        """One interval: releases, tertiary progress, admission,
+        completions."""
+        self.intervals_advanced += 1
+        self._process_lane_releases(interval)
+        self._process_tertiary(interval)
+        self._retry_deferred_placements(interval)
+        self._admission_pass(interval)
+        completions = self._process_completions(interval)
+        self.queue_length_sum += len(self._queue)
+        return completions
+
+    def pending_count(self) -> int:
+        """Queued plus active (not yet completed) requests."""
+        return len(self._queue) + len(self._active)
+
+    def utilization_sample(self):
+        """Active displays and fraction of virtual disks in use."""
+        from repro.simulation.policy import UtilizationSample
+
+        pool = self.disk_manager.pool
+        return UtilizationSample(
+            active_displays=len(self._active),
+            busy_fraction=pool.busy_count / pool.num_disks,
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Policy statistics for the result report."""
+        om = self.object_manager
+        report = {
+            "completed_displays": float(self.completed),
+            "mean_startup_latency_intervals": self.startup_latency.mean,
+            "max_startup_latency_intervals": (
+                self.startup_latency.maximum if self.startup_latency.count else 0.0
+            ),
+            "hit_rate": om.hit_rate(),
+            "evictions": float(om.evictions),
+            "resident_objects": float(len(om.resident_objects())),
+            "mean_queue_length": (
+                self.queue_length_sum / self.intervals_advanced
+                if self.intervals_advanced
+                else 0.0
+            ),
+            "fragmented_admissions": float(self.fragmented_admissions),
+            "peak_staging_memory_mbit": self.peak_staging_memory,
+        }
+        if self.tertiary_manager is not None:
+            report["tertiary_utilization"] = self.tertiary_manager.utilization(
+                self.intervals_advanced
+            )
+            report["tertiary_completed"] = float(self.tertiary_manager.completed)
+        return report
+
+    # ------------------------------------------------------------------
+    # Rewind / fast-forward support (§3.2.5)
+    # ------------------------------------------------------------------
+    def reposition(
+        self, display_id: int, target_subobject: int, interval: int
+    ) -> Display:
+        """Jump an active display to ``target_subobject``.
+
+        The display's lanes are released and a tail display re-enters
+        the admission queue at the front (the station observes a
+        seek, never a hiccup — nothing is displayed while seeking).
+        Returns the replacement display.
+        """
+        display = self._active.get(display_id)
+        if display is None:
+            raise SchedulingError(f"display {display_id} is not active")
+        original = self._display_request[display_id]
+        obj = display.obj
+        current = max(
+            0, min(interval - display.deliver_start, obj.num_subobjects - 1)
+        )
+        plan = plan_reposition(
+            obj,
+            display.start_disk,
+            self.disk_manager.num_disks,
+            self.disk_manager.stride,
+            current_subobject=current,
+            target_subobject=target_subobject,
+        )
+        if self.event_log is not None:
+            self.event_log.record(
+                interval,
+                "reposition",
+                display=display.display_id,
+                object=obj.object_id,
+                target=target_subobject,
+            )
+        self._cancel_display(display)
+        tail = MediaObject(
+            object_id=obj.object_id,
+            media_type=obj.media_type,
+            num_subobjects=obj.num_subobjects - target_subobject,
+            degree=obj.degree,
+            fragment_size=obj.fragment_size,
+        )
+        replacement = self._new_display(tail, plan.target_start_disk, original)
+        self._queue.insert(0, _QueueEntry(request=original, display=replacement))
+        return replacement
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _materialization_pending(self, object_id: int) -> bool:
+        tm = self.tertiary_manager
+        return tm is not None and tm.is_pending(object_id)
+
+    def _start_materialization(self, obj: MediaObject, interval: int) -> bool:
+        """Place the object and queue its materialisation.
+
+        Returns False when eviction could not free enough space (all
+        resident objects pinned); the caller retries next interval.
+        """
+        if self.tertiary_manager is None:
+            raise SchedulingError(
+                f"object {obj.object_id} is not resident and no tertiary "
+                "device is configured"
+            )
+        if self.disk_manager.is_placed(obj.object_id):
+            self.tertiary_manager.request(obj, interval)
+            return True
+        fits, evicted = self.object_manager.make_room(obj.size)
+        for victim in evicted:
+            self.disk_manager.evict_object(victim)
+            if self.event_log is not None:
+                self.event_log.record(interval, "evict", object=victim)
+        if not fits:
+            return False
+        self.object_manager.reserve(obj.object_id)
+        self.disk_manager.place_object(obj)
+        self.tertiary_manager.request(obj, interval)
+        if self.event_log is not None:
+            self.event_log.record(
+                interval, "materialize_start", object=obj.object_id
+            )
+        return True
+
+    def _retry_deferred_placements(self, interval: int) -> None:
+        for entry in self._queue:
+            if entry.deferred_placement:
+                obj = self.catalog.get(entry.request.object_id)
+                if self._materialization_pending(obj.object_id):
+                    entry.deferred_placement = False
+                else:
+                    entry.deferred_placement = not self._start_materialization(
+                        obj, interval
+                    )
+
+    def _process_tertiary(self, interval: int) -> None:
+        tm = self.tertiary_manager
+        if tm is None:
+            return
+        finished = tm.advance(
+            interval, self.disk_manager.pool, self.disk_manager.start_disk
+        )
+        for object_id in finished:
+            self.object_manager.add_resident(object_id)
+            if self.event_log is not None:
+                self.event_log.record(
+                    interval, "materialize_done", object=object_id
+                )
+
+    def _scan_order(self) -> List[_QueueEntry]:
+        """The queue in the configured walk order (the stored queue
+        itself always stays in arrival order)."""
+        if self.queue_discipline == "sjf":
+            return sorted(
+                self._queue,
+                key=lambda e: self.catalog.get(e.request.object_id).degree,
+            )
+        if self.queue_discipline == "largest_first":
+            return sorted(
+                self._queue,
+                key=lambda e: -self.catalog.get(e.request.object_id).degree,
+            )
+        return self._queue
+
+    def _admission_pass(self, interval: int) -> None:
+        admitted: Set[int] = set()
+        blocked = False
+        budget = self._claim_budget()
+        for entry in self._scan_order():
+            if blocked:
+                break
+            if not self.object_manager.is_resident(entry.request.object_id):
+                if self.queue_discipline == "fcfs":
+                    blocked = True
+                continue
+            if entry.display is None:
+                obj = self.catalog.get(entry.request.object_id)
+                if budget is not None:
+                    if obj.degree > budget:
+                        # Anti-hoarding rule: beginning to claim now
+                        # could leave partially-laned displays holding
+                        # virtual disks that can never all be
+                        # completed — a deadlock (see DESIGN.md §4).
+                        if self.queue_discipline == "fcfs":
+                            blocked = True
+                        continue
+                    budget -= obj.degree
+                start = self.disk_manager.start_disk(entry.request.object_id)
+                entry.display = self._new_display(obj, start, entry.request)
+            plan = self.admitter.try_claim(entry.display, interval)
+            if plan.complete:
+                self._activate(entry.display)
+                admitted.add(id(entry))
+            elif self.queue_discipline == "fcfs":
+                blocked = True
+        if admitted:
+            # The stored queue keeps arrival order regardless of the
+            # walk order the discipline used.
+            self._queue = [e for e in self._queue if id(e) not in admitted]
+
+    def _claim_budget(self) -> Optional[int]:
+        """Virtual disks available for *new* claimants (FRAGMENTED only).
+
+        Fragmented admission claims lanes incrementally, and a lane is
+        held until its display completes.  Without admission control,
+        many partial displays can each hoard a few virtual disks until
+        every disk is held and no display can ever become whole — a
+        deadlock.  The fix: a display may start claiming only while
+        the total outstanding lane demand of all claimants fits the
+        free-slot supply (each claimed lane reduces demand and supply
+        together, so the invariant is preserved and every claimant
+        eventually completes its lane set).
+
+        CONTIGUOUS claims are all-or-nothing and never hoard, so no
+        budget applies (``None``).
+        """
+        if self.admitter.mode is not AdmissionMode.FRAGMENTED:
+            return None
+        reserved = sum(
+            len(entry.display.pending_lanes)
+            for entry in self._queue
+            if entry.display is not None and not entry.display.fully_laned
+        )
+        return self.disk_manager.pool.free_count - reserved
+
+    def _new_display(
+        self, obj: MediaObject, start_disk: int, request: Request
+    ) -> Display:
+        self._display_seq += 1
+        degree_halves: Optional[int] = None
+        lanes: List[Lane] = []
+        if self.half_slot_objects and self.disk_bandwidth is not None:
+            halves = degree_in_halves(obj.display_bandwidth, self.disk_bandwidth)
+            if halves != 2 * obj.degree:
+                degree_halves = halves
+                lanes = [Lane(fragment=j) for j in range((halves + 1) // 2)]
+        display = Display(
+            display_id=self._display_seq,
+            obj=obj,
+            start_disk=start_disk,
+            requested_at=request.issued_at,
+            lanes=lanes,
+            degree_halves=degree_halves,
+        )
+        self._display_request[display.display_id] = request
+        return display
+
+    def _activate(self, display: Display) -> None:
+        self._active[display.display_id] = display
+        n = display.obj.num_subobjects
+        for lane in display.lanes:
+            heapq.heappush(
+                self._lane_releases,
+                (lane.release_interval(n), display.display_id, lane.slot),
+            )
+        heapq.heappush(
+            self._completions, (display.finish_interval, display.display_id)
+        )
+        self.startup_latency.record(display.startup_latency_intervals)
+        if self.event_log is not None:
+            self.event_log.record(
+                display.deliver_start,
+                "admit",
+                display=display.display_id,
+                object=display.obj.object_id,
+                latency=display.startup_latency_intervals,
+            )
+        demand = display.buffer_demand()
+        if demand > 0:
+            self.fragmented_admissions += 1
+            self._staging_memory += demand
+            if self._staging_memory > self.peak_staging_memory:
+                self.peak_staging_memory = self._staging_memory
+
+    def _process_lane_releases(self, interval: int) -> None:
+        heap = self._lane_releases
+        pool = self.disk_manager.pool
+        while heap and heap[0][0] <= interval:
+            _t, display_id, slot = heapq.heappop(heap)
+            if display_id in self._cancelled:
+                continue  # slots already returned by the abort
+            pool.release(slot, display_id)
+
+    def _process_completions(self, interval: int) -> List[Completion]:
+        completions: List[Completion] = []
+        heap = self._completions
+        while heap and heap[0][0] <= interval:
+            _t, display_id = heapq.heappop(heap)
+            if display_id in self._cancelled:
+                # Stays in the cancelled set: stale lane-release heap
+                # entries for this display may still be pending.
+                continue
+            display = self._active.pop(display_id)
+            request = self._display_request.pop(display_id)
+            self.object_manager.unpin(request.object_id)
+            self._staging_memory = max(
+                0.0, self._staging_memory - display.buffer_demand()
+            )
+            self.completed += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    interval,
+                    "complete",
+                    display=display_id,
+                    object=request.object_id,
+                )
+            completions.append(
+                Completion(
+                    request=request,
+                    deliver_start=display.deliver_start,
+                    finished_at=display.finish_interval,
+                )
+            )
+        return completions
+
+    def _cancel_display(self, display: Display) -> None:
+        self.admitter.abort(display)
+        self._active.pop(display.display_id, None)
+        self._cancelled.add(display.display_id)
+        self._display_request.pop(display.display_id, None)
+        if display.fully_laned:
+            self._staging_memory = max(
+                0.0, self._staging_memory - display.buffer_demand()
+            )

@@ -1,0 +1,100 @@
+"""Per-node network demand of the delivery schedule (§3.2.1).
+
+The time-fragmentation fix explicitly trades "additional memory for
+buffer space and additional network capacity": during fragmented
+service a node concurrently transmits a previously *buffered* fragment
+and pipelines a fresh one from its drive, momentarily doubling its
+output.  This module derives each interval's exact per-node demand
+from the active displays' lane schedules:
+
+* lane ``j`` of a display delivers fragment ``X_{i.j}`` during
+  interval ``deliver_start + i`` **from the node that read it** — the
+  drive under the lane's virtual disk at interval ``ready_j + i``;
+* for an aligned lane (``w_offset = 0``) that is the drive currently
+  being read; for a lagging lane it is ``k·w_offset`` drives behind,
+  a node whose own drive is busy with other work — the double-duty
+  transmission.
+
+Feed the result into a :class:`~repro.hardware.network.NetworkModel`
+to track peaks and overcommit against a per-node capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.display import Display
+from repro.core.virtual_disks import SlotPool
+from repro.hardware.network import NetworkModel
+
+
+def interval_demand(
+    displays: Iterable[Display], pool: SlotPool, interval: int
+) -> Dict[int, float]:
+    """Map node (drive index) → mbps transmitted during ``interval``.
+
+    Each delivering lane contributes its display's per-lane share
+    ``B_display / M`` at the node holding the fragment being
+    delivered.
+    """
+    demand: Dict[int, float] = {}
+    for display in displays:
+        if not display.fully_laned:
+            continue
+        delivering = display.delivers_at(interval)
+        if delivering is None:
+            continue
+        share = display.display_bandwidth_per_lane()
+        for lane in display.lanes:
+            read_interval = lane.ready + delivering  # type: ignore[operator]
+            node = pool.physical_of(lane.slot, read_interval)  # type: ignore[arg-type]
+            demand[node] = demand.get(node, 0.0) + share
+    return demand
+
+
+def record_interval(
+    network: NetworkModel,
+    displays: Iterable[Display],
+    pool: SlotPool,
+    interval: int,
+) -> Dict[int, float]:
+    """Advance ``network`` one interval with the schedule's demand."""
+    network.begin_interval()
+    demand = interval_demand(displays, pool, interval)
+    for node, rate in demand.items():
+        network.transmit(node, rate)
+    return demand
+
+
+def double_duty_nodes(
+    displays: Iterable[Display], pool: SlotPool, interval: int
+) -> Dict[int, int]:
+    """Nodes transmitting a buffered fragment while their drive reads.
+
+    Returns node → count of concurrent (read, buffered-transmit)
+    pairs — the paper's "concurrently transmit to the network both (a)
+    the previously buffered fragment, and (b) a disk resident
+    fragment".
+    """
+    reading: Dict[int, int] = {}
+    buffered_transmit: Dict[int, int] = {}
+    for display in displays:
+        for lane in display.reads_at(interval):
+            node = pool.physical_of(lane.slot, interval)  # type: ignore[arg-type]
+            reading[node] = reading.get(node, 0) + 1
+        if not display.fully_laned:
+            continue
+        delivering = display.delivers_at(interval)
+        if delivering is None:
+            continue
+        for lane in display.lanes:
+            if display.lane_write_offset(lane.fragment) == 0:
+                continue  # pipelined straight from the drive
+            read_interval = lane.ready + delivering  # type: ignore[operator]
+            node = pool.physical_of(lane.slot, read_interval)  # type: ignore[arg-type]
+            buffered_transmit[node] = buffered_transmit.get(node, 0) + 1
+    return {
+        node: min(reads, buffered_transmit.get(node, 0))
+        for node, reads in reading.items()
+        if buffered_transmit.get(node, 0) > 0
+    }

@@ -1,0 +1,224 @@
+"""Virtual disks and the slot pool (§3.2.1).
+
+Because every display (and every materialisation) shifts ``k`` drives
+per interval, the busy/idle pattern of the array rotates rigidly.  The
+paper captures this with *virtual disks*: positions in the rotating
+frame.  We index virtual disks so that
+
+    ``physical(z, t) = (z + k·t) mod D``
+
+i.e. virtual disk ``z`` sits over physical drive ``z`` at interval 0
+and advances ``k`` drives to the right each interval.  (The paper
+writes ``(i - kt) mod D``; the two differ only in the direction the
+frame is labelled — our form makes "the data shifts right" read
+directly.)  A display that owns a virtual disk owns it for its entire
+duration, so admission control reduces to finding free slots in the
+rotating frame — the *time fragmentation* problem.
+
+Each virtual disk carries **two half-slots**: a full-bandwidth
+fragment read claims both, while the low-bandwidth objects of §3.2.3
+claim one each, the drive behaving as two logical disks of half the
+bandwidth.
+
+:class:`SlotPool` is the allocator: it tracks (half-)slot ownership,
+finds free runs, and answers the modular-arithmetic question "when
+does slot ``z`` next pass over physical drive ``d``?".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SchedulingError
+
+#: Half-slots per virtual disk.
+HALVES_PER_SLOT = 2
+
+
+def physical_disk_of_slot(slot: int, interval: int, stride: int, num_disks: int) -> int:
+    """Physical drive under virtual disk ``slot`` at ``interval``."""
+    return (slot + stride * interval) % num_disks
+
+
+def slot_at_physical(disk: int, interval: int, stride: int, num_disks: int) -> int:
+    """Virtual disk currently over physical drive ``disk``."""
+    return (disk - stride * interval) % num_disks
+
+
+def first_arrival(
+    slot: int, target_disk: int, stride: int, num_disks: int, not_before: int
+) -> Optional[int]:
+    """Earliest interval ``t >= not_before`` with
+    ``physical(slot, t) == target_disk``.
+
+    Solves ``k·t ≡ (target - slot) (mod D)``.  Returns ``None`` when no
+    solution exists (``gcd(k, D)`` does not divide the offset) — e.g.
+    with simple striping (``k = M``) a slot only ever visits drives in
+    its own residue class.
+    """
+    offset = (target_disk - slot) % num_disks
+    g = math.gcd(stride, num_disks)
+    if offset % g != 0:
+        return None
+    d_r = num_disks // g
+    # Solve (k/g)·t ≡ (offset/g) (mod D/g); k/g is invertible mod D/g.
+    if d_r == 1:
+        base = 0
+    else:
+        k_r = (stride // g) % d_r
+        inverse = pow(k_r, -1, d_r)
+        base = (offset // g) * inverse % d_r
+    if base >= not_before:
+        return base
+    cycles = (not_before - base + d_r - 1) // d_r
+    return base + cycles * d_r
+
+
+class SlotPool:
+    """Ownership of the ``D`` virtual disks at half-slot granularity.
+
+    Owners are opaque hashables (display ids, materialisation ids).
+    The pool enforces that a slot's two half-slots are never
+    oversubscribed — that invariant is what guarantees no physical
+    drive is ever asked for more than one full-bandwidth fragment (or
+    two half-bandwidth sub-fragments) in one interval.
+    """
+
+    def __init__(self, num_disks: int, stride: int) -> None:
+        if num_disks < 1:
+            raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
+        if not 1 <= stride <= num_disks:
+            raise ConfigurationError(
+                f"stride must be in 1..{num_disks}, got {stride}"
+            )
+        self.num_disks = num_disks
+        self.stride = stride
+        # slot -> {owner: halves}
+        self._owners: Dict[int, Dict[Hashable, int]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlotPool D={self.num_disks} k={self.stride} "
+            f"occupied={len(self._owners)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    @property
+    def busy_count(self) -> int:
+        """Slots with at least one claimed half."""
+        return len(self._owners)
+
+    @property
+    def free_count(self) -> int:
+        """Fully free slots."""
+        return self.num_disks - self.busy_count
+
+    def claimed_halves(self, slot: int) -> int:
+        """Half-slots of ``slot`` currently claimed."""
+        return sum(self._owners.get(slot % self.num_disks, {}).values())
+
+    def free_halves(self, slot: int) -> int:
+        """Half-slots of ``slot`` still free."""
+        return HALVES_PER_SLOT - self.claimed_halves(slot)
+
+    def is_free(self, slot: int, halves: int = HALVES_PER_SLOT) -> bool:
+        """True when ``slot`` has at least ``halves`` free half-slots."""
+        return self.free_halves(slot) >= halves
+
+    def owners_of(self, slot: int) -> Dict[Hashable, int]:
+        """Current owners of ``slot`` with their half counts."""
+        return dict(self._owners.get(slot % self.num_disks, {}))
+
+    def free_slots(self) -> List[int]:
+        """All fully free slots, ascending."""
+        return [z for z in range(self.num_disks) if z not in self._owners]
+
+    def slots_of(self, owner: Hashable) -> List[int]:
+        """Slots in which ``owner`` holds at least one half."""
+        return [z for z, owners in self._owners.items() if owner in owners]
+
+    def claim(self, slot: int, owner: Hashable, halves: int = HALVES_PER_SLOT) -> None:
+        """Give ``halves`` half-slots of ``slot`` to ``owner``."""
+        if not 1 <= halves <= HALVES_PER_SLOT:
+            raise SchedulingError(f"claim of {halves} half-slots is invalid")
+        slot %= self.num_disks
+        holders = self._owners.setdefault(slot, {})
+        used = sum(holders.values())
+        if used + halves > HALVES_PER_SLOT:
+            raise SchedulingError(
+                f"virtual disk {slot} oversubscribed: {holders!r} + "
+                f"{owner!r}:{halves}"
+            )
+        holders[owner] = holders.get(owner, 0) + halves
+
+    def release(self, slot: int, owner: Hashable) -> int:
+        """Return all of ``owner``'s halves of ``slot``; returns count."""
+        slot %= self.num_disks
+        holders = self._owners.get(slot)
+        if not holders or owner not in holders:
+            raise SchedulingError(
+                f"virtual disk {slot} holds nothing for {owner!r}"
+            )
+        halves = holders.pop(owner)
+        if not holders:
+            del self._owners[slot]
+        return halves
+
+    def release_all(self, owner: Hashable) -> int:
+        """Return every half-slot of ``owner``; returns slots touched."""
+        slots = self.slots_of(owner)
+        for slot in slots:
+            holders = self._owners[slot]
+            del holders[owner]
+            if not holders:
+                del self._owners[slot]
+        return len(slots)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def physical_of(self, slot: int, interval: int) -> int:
+        """Physical drive under ``slot`` at ``interval``."""
+        return physical_disk_of_slot(slot, interval, self.stride, self.num_disks)
+
+    def slot_at(self, disk: int, interval: int) -> int:
+        """Slot over physical drive ``disk`` at ``interval``."""
+        return slot_at_physical(disk, interval, self.stride, self.num_disks)
+
+    def arrival(self, slot: int, target_disk: int, not_before: int) -> Optional[int]:
+        """Earliest interval ≥ ``not_before`` at which ``slot`` passes
+        over ``target_disk`` (None when unreachable)."""
+        return first_arrival(
+            slot, target_disk, self.stride, self.num_disks, not_before
+        )
+
+    def free_runs(self) -> List[Tuple[int, int]]:
+        """Maximal circular runs of *fully free* slots as
+        ``(start, length)``.  A fully free pool reports ``[(0, D)]``."""
+        free = [self.is_free(z) for z in range(self.num_disks)]
+        if all(free):
+            return [(0, self.num_disks)]
+        if not any(free):
+            return []
+        runs: List[Tuple[int, int]] = []
+        # Start scanning just after an owned slot so circular runs are whole.
+        start_scan = next(z for z in range(self.num_disks) if not free[z])
+        run_start: Optional[int] = None
+        for step in range(1, self.num_disks + 1):
+            z = (start_scan + step) % self.num_disks
+            if free[z]:
+                if run_start is None:
+                    run_start = z
+            else:
+                if run_start is not None:
+                    runs.append((run_start, (z - run_start) % self.num_disks))
+                    run_start = None
+        return runs
+
+    def longest_free_run(self) -> int:
+        """Length of the longest circular free run (0 when none)."""
+        runs = self.free_runs()
+        return max((length for _, length in runs), default=0)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at construction time (e.g. a stride outside
+    ``1..D``, a fragment size that is not a whole number of sectors,
+    or a database that cannot fit a single object on disk).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly.
+
+    Examples: activating a process twice, holding for a negative
+    duration, or running a simulation whose clock would move backwards.
+    """
+
+
+class SchedulingError(ReproError):
+    """The striping scheduler reached an inconsistent state.
+
+    Raised when an invariant of the delivery protocol is violated:
+    a disk asked to read two fragments in one time interval, a display
+    missing its interval (a *hiccup*), or a buffer underflow.
+    """
+
+
+class AdmissionError(ReproError):
+    """A display request could not be admitted.
+
+    Carries enough context for callers to decide whether to queue the
+    request or report failure to the display station.
+    """
+
+
+class CapacityError(ReproError):
+    """Storage capacity was exceeded and could not be reclaimed."""
+
+
+class LayoutError(ReproError):
+    """A data-placement (striping layout) request was invalid."""

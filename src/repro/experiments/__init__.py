@@ -1,0 +1,29 @@
+"""Experiment scripts: one module per paper artifact.
+
+Each module exposes plain functions returning data structures (rows,
+grids, series) so the same code drives the unit tests, the pytest
+benchmarks, and the runnable examples.  See DESIGN.md §3 for the
+experiment index.
+"""
+
+from repro.experiments import (
+    figure8,
+    latency_profile,
+    layouts,
+    mixed_media,
+    section31,
+    stride,
+    table4,
+    tertiary,
+)
+
+__all__ = [
+    "figure8",
+    "latency_profile",
+    "layouts",
+    "mixed_media",
+    "section31",
+    "stride",
+    "table4",
+    "tertiary",
+]

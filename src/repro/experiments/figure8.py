@@ -1,0 +1,109 @@
+"""Figure 8: throughput vs number of display stations.
+
+Three graphs (access-distribution means 10 / 20 / 43.5 at full scale),
+each comparing simple striping against virtual data replication as the
+station count grows from 1 to 256.  The scaled configuration divides
+every linear dimension by ``scale`` (default 10) — including the
+means and the station counts — preserving the ratios the curves
+depend on; pass ``scale=1`` for the paper's exact parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulation.config import PaperConfig, ScaledConfig, SimulationConfig
+from repro.simulation.runner import run_experiment
+
+#: The paper's three access-distribution means and their labels.
+PAPER_MEANS = {10.0: "highly skewed", 20.0: "skewed", 43.5: "uniform"}
+
+#: Station counts plotted in Figure 8 (powers of two up to 256).
+PAPER_STATIONS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    """One point of one curve."""
+
+    technique: str
+    access_mean: float
+    stations: int
+    throughput_per_hour: float
+    hit_rate: float
+    tertiary_utilization: float
+    mean_latency_s: float
+
+
+def base_config(scale: int = 10) -> SimulationConfig:
+    """Full-scale (scale=1) or proportionally scaled configuration."""
+    return PaperConfig() if scale == 1 else ScaledConfig(scale=scale)
+
+
+def scaled_means(scale: int = 10) -> List[float]:
+    """The paper's means divided by the scale factor."""
+    return [mean / scale for mean in PAPER_MEANS]
+
+
+def scaled_stations(scale: int = 10) -> List[int]:
+    """Station counts shrunk with the system (minimum 1 each)."""
+    return sorted({max(1, s // scale) for s in PAPER_STATIONS})
+
+
+def run_point(
+    config: SimulationConfig, technique: str, mean: float, stations: int
+) -> Figure8Point:
+    """Run one (technique, mean, stations) cell."""
+    result = run_experiment(
+        config.with_(technique=technique, access_mean=mean, num_stations=stations)
+    )
+    stats = result.policy_stats
+    return Figure8Point(
+        technique=technique,
+        access_mean=mean,
+        stations=stations,
+        throughput_per_hour=result.throughput_per_hour,
+        hit_rate=stats.get("hit_rate", 0.0),
+        tertiary_utilization=stats.get("tertiary_utilization", 0.0),
+        mean_latency_s=result.mean_startup_latency_seconds,
+    )
+
+
+def run_figure8(
+    scale: int = 10,
+    stations: Optional[Sequence[int]] = None,
+    means: Optional[Sequence[float]] = None,
+    techniques: Sequence[str] = ("simple", "vdr"),
+) -> Dict[float, List[Figure8Point]]:
+    """All curves, grouped by access mean."""
+    config = base_config(scale)
+    stations = list(stations) if stations else scaled_stations(scale)
+    means = list(means) if means else scaled_means(scale)
+    curves: Dict[float, List[Figure8Point]] = {}
+    for mean in means:
+        points: List[Figure8Point] = []
+        for technique in techniques:
+            for count in stations:
+                points.append(run_point(config, technique, mean, count))
+        curves[mean] = points
+    return curves
+
+
+def figure8_rows(curves: Dict[float, List[Figure8Point]]) -> List[Dict]:
+    """Flatten the curves into printable rows."""
+    rows = []
+    for mean in sorted(curves):
+        for point in curves[mean]:
+            rows.append(
+                {
+                    "mean": mean,
+                    "technique": point.technique,
+                    "stations": point.stations,
+                    "displays_per_hour": round(point.throughput_per_hour, 1),
+                    "hit_rate": round(point.hit_rate, 3),
+                    "tertiary_util": round(point.tertiary_utilization, 3),
+                    "latency_s": round(point.mean_latency_s, 1),
+                }
+            )
+    return rows

@@ -1,0 +1,45 @@
+"""§3.1's numeric example on the 1.2 GB Sabre drive.
+
+Paper numbers reproduced here:
+
+* one cylinder reads in ~250 ms; worst seek+latency overhead 51.83 ms;
+* ``S(C_i)`` = 301.83 ms (1-cylinder fragments), 555.83 ms (2);
+* wasted bandwidth 17.2% and ~10% respectively;
+* worst-case transfer initiation delay in a 90-disk / 30-cluster
+  system: ~9 s (1 cylinder) and ~16 s (2 cylinders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.bandwidth import bandwidth_table
+from repro.analysis.latency import worst_case_initiation_delay
+from repro.hardware.disk import SABRE_DISK, DiskModel
+
+
+def sabre_numbers(disk: DiskModel = SABRE_DISK) -> Dict[str, float]:
+    """The headline §3.1 quantities."""
+    return {
+        "cylinder_read_ms": disk.cylinder_read_time * 1000.0,
+        "t_switch_ms": disk.t_switch * 1000.0,
+        "service_1cyl_ms": disk.service_time(1) * 1000.0,
+        "service_2cyl_ms": disk.service_time(2) * 1000.0,
+        "waste_1cyl_pct": disk.wasted_fraction(1) * 100.0,
+        "waste_2cyl_pct": disk.wasted_fraction(2) * 100.0,
+        "delay_90disks_1cyl_s": worst_case_initiation_delay(disk, 90, 3, 1),
+        "delay_90disks_2cyl_s": worst_case_initiation_delay(disk, 90, 3, 2),
+    }
+
+
+def fragment_size_tradeoff(
+    disk: DiskModel = SABRE_DISK, max_cylinders: int = 6
+) -> List[Dict[str, float]]:
+    """The fragment-size trade-off rows: bandwidth up, latency up."""
+    rows = bandwidth_table(disk, max_cylinders)
+    for row in rows:
+        cylinders = int(row["fragment_cylinders"])
+        row["worst_delay_90disks_s"] = worst_case_initiation_delay(
+            disk, 90, 3, cylinders
+        )
+    return rows

@@ -1,0 +1,166 @@
+"""The disk array: ``D`` drives with per-interval bandwidth slots and
+per-drive storage accounting.
+
+The striping protocol quantises time into fixed intervals; within one
+interval a drive delivers at most one fragment (or, in the
+low-bandwidth mode of §3.2.3, two *half-interval* sub-fragments, the
+drive behaving as two logical disks of half the bandwidth).  The
+array therefore tracks, per interval, two *half-slots* per drive, and
+cumulatively tracks the cylinders occupied by resident fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.hardware.disk import DiskModel
+
+#: Bandwidth slots per drive per interval (two half-slots).
+SLOTS_PER_DISK = 2
+
+
+@dataclass
+class DiskState:
+    """Mutable per-drive state: storage used and this interval's claims."""
+
+    index: int
+    used_cylinders: float = 0.0
+    #: Half-slots claimed in the current interval, keyed by owner.
+    claims: Dict[Hashable, int] = field(default_factory=dict)
+
+    @property
+    def claimed_slots(self) -> int:
+        """Half-slots consumed so far in the current interval."""
+        return sum(self.claims.values())
+
+    @property
+    def free_slots(self) -> int:
+        """Half-slots still available in the current interval."""
+        return SLOTS_PER_DISK - self.claimed_slots
+
+
+class DiskArray:
+    """``D`` drives sharing one :class:`DiskModel`.
+
+    Responsibilities:
+
+    * per-interval bandwidth claims (full drive or logical half drive);
+    * cumulative storage accounting with capacity checks;
+    * utilisation statistics (claimed slots per interval).
+    """
+
+    def __init__(self, model: DiskModel, num_disks: int) -> None:
+        if num_disks < 1:
+            raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
+        self.model = model
+        self.num_disks = num_disks
+        self.disks: List[DiskState] = [DiskState(index=i) for i in range(num_disks)]
+        self.intervals_elapsed = 0
+        self._slot_interval_sum = 0
+        self._claimed_this_interval = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskArray D={self.num_disks} model={self.model.name} "
+            f"interval={self.intervals_elapsed}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate capacity of the array in megabits."""
+        return self.num_disks * self.model.capacity
+
+    def used_cylinders(self, disk: int) -> float:
+        """Cylinders currently occupied on drive ``disk``."""
+        return self.disks[disk].used_cylinders
+
+    def free_cylinders(self, disk: int) -> float:
+        """Cylinders still free on drive ``disk``."""
+        return self.model.num_cylinders - self.disks[disk].used_cylinders
+
+    def store(self, disk: int, cylinders: float) -> None:
+        """Occupy ``cylinders`` on drive ``disk`` (raises on overflow)."""
+        state = self.disks[disk]
+        if state.used_cylinders + cylinders > self.model.num_cylinders + 1e-9:
+            raise CapacityError(
+                f"disk {disk} overflow: {state.used_cylinders:.2f} + "
+                f"{cylinders:.2f} > {self.model.num_cylinders}"
+            )
+        state.used_cylinders += cylinders
+
+    def evict(self, disk: int, cylinders: float) -> None:
+        """Free ``cylinders`` on drive ``disk``."""
+        state = self.disks[disk]
+        if cylinders > state.used_cylinders + 1e-9:
+            raise CapacityError(
+                f"disk {disk} underflow: evicting {cylinders:.2f} from "
+                f"{state.used_cylinders:.2f}"
+            )
+        state.used_cylinders = max(0.0, state.used_cylinders - cylinders)
+
+    def storage_skew(self) -> Tuple[float, float]:
+        """Return ``(min, max)`` used cylinders across drives."""
+        used = [d.used_cylinders for d in self.disks]
+        return min(used), max(used)
+
+    # ------------------------------------------------------------------
+    # Per-interval bandwidth claims
+    # ------------------------------------------------------------------
+    def begin_interval(self) -> None:
+        """Start a new time interval: all bandwidth claims reset."""
+        self._slot_interval_sum += self._claimed_this_interval
+        self._claimed_this_interval = 0
+        self.intervals_elapsed += 1
+        for state in self.disks:
+            state.claims.clear()
+
+    def is_idle(self, disk: int) -> bool:
+        """True when no half-slot of ``disk`` is claimed this interval."""
+        return self.disks[disk].claimed_slots == 0
+
+    def free_slots(self, disk: int) -> int:
+        """Free half-slots on ``disk`` this interval."""
+        return self.disks[disk].free_slots
+
+    def claim(self, disk: int, owner: Hashable, slots: int = SLOTS_PER_DISK) -> None:
+        """Claim ``slots`` half-slots of ``disk`` for ``owner``.
+
+        A full-bandwidth fragment read claims both half-slots; a
+        low-bandwidth (§3.2.3) read claims one.
+        """
+        if slots < 1 or slots > SLOTS_PER_DISK:
+            raise SchedulingError(f"claim of {slots} half-slots is invalid")
+        state = self.disks[disk]
+        if state.free_slots < slots:
+            raise SchedulingError(
+                f"disk {disk} oversubscribed in interval "
+                f"{self.intervals_elapsed}: {state.claims} + {owner}:{slots}"
+            )
+        state.claims[owner] = state.claims.get(owner, 0) + slots
+        self._claimed_this_interval += slots
+
+    def release(self, disk: int, owner: Hashable) -> None:
+        """Drop ``owner``'s claim on ``disk`` within the current interval."""
+        state = self.disks[disk]
+        slots = state.claims.pop(owner, 0)
+        self._claimed_this_interval -= slots
+
+    def idle_disks(self) -> List[int]:
+        """Indices of fully idle drives this interval."""
+        return [d.index for d in self.disks if d.claimed_slots == 0]
+
+    def busy_disks(self) -> List[int]:
+        """Indices of drives with at least one claim this interval."""
+        return [d.index for d in self.disks if d.claimed_slots > 0]
+
+    def utilization(self) -> float:
+        """Mean fraction of half-slots claimed per elapsed interval."""
+        if self.intervals_elapsed == 0:
+            return 0.0
+        total_slots = self.intervals_elapsed * self.num_disks * SLOTS_PER_DISK
+        return (self._slot_interval_sum + self._claimed_this_interval) / total_slots

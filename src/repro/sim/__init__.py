@@ -1,0 +1,38 @@
+"""Process-oriented discrete-event simulation kernel.
+
+The paper implemented its model in CSIM [Sch85], a proprietary
+C-based process-oriented simulation language.  This package is a pure
+Python replacement offering the same modelling vocabulary:
+
+* :class:`~repro.sim.kernel.Simulation` — the event calendar and clock.
+* **Processes** — plain generator functions that ``yield`` simulation
+  commands (:func:`~repro.sim.kernel.hold`, events, resource requests).
+* :class:`~repro.sim.resources.Facility` — a CSIM facility: a server
+  pool with a FIFO queue.
+* :class:`~repro.sim.resources.Store` — a buffered mailbox for
+  producer/consumer processes.
+* :class:`~repro.sim.monitor.Tally` / :class:`~repro.sim.monitor.TimeWeighted`
+  — statistics collectors.
+* :class:`~repro.sim.rng.RandomStream` — seeded random variates,
+  including the truncated geometric distribution used by the paper's
+  workload.
+"""
+
+from repro.sim.events import SimEvent
+from repro.sim.kernel import Process, Simulation, hold, wait
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.resources import Facility, Store
+from repro.sim.rng import RandomStream
+
+__all__ = [
+    "Facility",
+    "Process",
+    "RandomStream",
+    "SimEvent",
+    "Simulation",
+    "Store",
+    "Tally",
+    "TimeWeighted",
+    "hold",
+    "wait",
+]

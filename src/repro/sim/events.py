@@ -1,0 +1,141 @@
+"""Simulation events: one-shot signals processes can wait on.
+
+A :class:`SimEvent` mirrors CSIM's *event* type: it has ``set`` /
+``clear`` state, a list of waiting processes, and helpers to fire it
+immediately or after a delay.  Processes wait on an event by yielding
+``wait(event)`` (see :mod:`repro.sim.kernel`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.kernel import Process, Simulation
+
+
+class SimEvent:
+    """A one-shot (re-armable) event that processes can wait on.
+
+    The event starts *clear*.  :meth:`fire` sets it and wakes every
+    waiting process; processes that wait on an already-set event
+    resume immediately.  :meth:`clear` re-arms the event.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    name:
+        Optional label used in ``repr`` and tracing.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = "") -> None:
+        self.sim = sim
+        self.name = name or f"event-{id(self):x}"
+        self.is_set = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    def __repr__(self) -> str:
+        state = "set" if self.is_set else "clear"
+        return f"<SimEvent {self.name} {state} waiters={len(self._waiters)}>"
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this event."""
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> None:
+        """Set the event now, waking all waiters with ``value``."""
+        self.is_set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.schedule(0.0, proc.resume, value)
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def fire_in(self, delay: float, value: Any = None) -> None:
+        """Set the event ``delay`` simulated seconds from now."""
+        self.sim.schedule(delay, self.fire, value)
+
+    def clear(self) -> None:
+        """Re-arm the event so future waiters block again."""
+        self.is_set = False
+        self.value = None
+
+    def add_waiter(self, proc: "Process") -> bool:
+        """Register ``proc`` as a waiter.
+
+        Returns ``True`` if the process must block, ``False`` if the
+        event is already set (the caller resumes immediately).
+        """
+        if self.is_set:
+            return False
+        self._waiters.append(proc)
+        return True
+
+    def remove_waiter(self, proc: "Process") -> None:
+        """Withdraw a waiting process (used when a process is killed)."""
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def on_fire(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Invoke ``callback(event)`` once, the next time the event fires."""
+        if self.is_set:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process that is being forcibly terminated."""
+
+
+def all_of(sim: "Simulation", events: List[SimEvent], name: str = "") -> SimEvent:
+    """Return an event that fires once every event in ``events`` has fired."""
+    combined = SimEvent(sim, name or "all_of")
+    remaining = len(events)
+    if remaining == 0:
+        combined.fire([])
+        return combined
+    values: List[Optional[Any]] = [None] * remaining
+    state = {"left": remaining}
+
+    def make_callback(index: int) -> Callable[[SimEvent], None]:
+        def callback(event: SimEvent) -> None:
+            values[index] = event.value
+            state["left"] -= 1
+            if state["left"] == 0:
+                combined.fire(list(values))
+
+        return callback
+
+    for i, event in enumerate(events):
+        event.on_fire(make_callback(i))
+    return combined
+
+
+def any_of(sim: "Simulation", events: List[SimEvent], name: str = "") -> SimEvent:
+    """Return an event that fires as soon as any event in ``events`` fires."""
+    combined = SimEvent(sim, name or "any_of")
+
+    def callback(event: SimEvent) -> None:
+        if not combined.is_set:
+            combined.fire(event)
+
+    for event in events:
+        event.on_fire(callback)
+    return combined

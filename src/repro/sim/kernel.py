@@ -1,0 +1,248 @@
+"""The simulation kernel: clock, event calendar, and processes.
+
+Modelling style (mirrors CSIM):
+
+.. code-block:: python
+
+    sim = Simulation()
+
+    def customer(sim, server):
+        yield hold(1.5)                    # think for 1.5 s
+        yield server.request()             # queue for the facility
+        yield hold(0.3)                    # service time
+        server.release()
+
+    sim.spawn(customer(sim, server), name="customer-0")
+    sim.run(until=100.0)
+
+A *process* is a generator that yields **commands**:
+
+* ``hold(delay)`` — advance this process ``delay`` simulated seconds.
+* ``wait(event)`` — block until a :class:`~repro.sim.events.SimEvent`
+  fires; the ``yield`` evaluates to the event's value.
+* a :class:`~repro.sim.events.SimEvent` directly — same as ``wait``.
+* a *request object* produced by :meth:`Facility.request` or
+  :meth:`Store.get` / :meth:`Store.put` — block until granted.
+* another :class:`Process` — block until that process terminates; the
+  ``yield`` evaluates to its return value.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Interrupt, ProcessKilled, SimEvent
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Command: advance the issuing process by ``delay`` seconds."""
+
+    delay: float
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Command: block the issuing process until ``event`` fires."""
+
+    event: SimEvent
+
+
+def hold(delay: float) -> Hold:
+    """Return a command that suspends the caller ``delay`` seconds."""
+    if delay < 0 or math.isnan(delay):
+        raise SimulationError(f"cannot hold for negative/NaN delay {delay!r}")
+    return Hold(float(delay))
+
+
+def wait(event: SimEvent) -> Wait:
+    """Return a command that blocks the caller on ``event``."""
+    return Wait(event)
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Processes are created through :meth:`Simulation.spawn`; user code
+    only interacts with them to wait on completion (``yield process``)
+    or to :meth:`interrupt` / :meth:`kill` them.
+    """
+
+    def __init__(self, sim: "Simulation", gen: Generator[Any, Any, Any], name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.done_event = SimEvent(sim, name=f"{name}.done")
+        self._waiting_on: Optional[SimEvent] = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+    def resume(self, value: Any = None) -> None:
+        """Advance the generator with ``value``; dispatch its next command."""
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            command = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def throw(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the generator at its current yield point."""
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        try:
+            command = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: it receives :class:`Interrupt` at its yield."""
+        self.sim.schedule(0.0, self.throw, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process unconditionally."""
+        self.sim.schedule(0.0, self.throw, ProcessKilled())
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self.gen.close()
+        self.done_event.fire(result)
+
+    def _dispatch(self, command: Any) -> None:
+        sim = self.sim
+        if isinstance(command, Hold):
+            sim.schedule(command.delay, self.resume, None)
+        elif isinstance(command, Wait):
+            self._block_on(command.event)
+        elif isinstance(command, SimEvent):
+            self._block_on(command)
+        elif isinstance(command, Process):
+            self._block_on(command.done_event)
+        elif hasattr(command, "bind"):
+            # Resource-style request objects (Facility.request, Store.get...)
+            command.bind(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _block_on(self, event: SimEvent) -> None:
+        if event.add_waiter(self):
+            self._waiting_on = event
+        else:
+            # Event already set: resume immediately with its value.
+            self.sim.schedule(0.0, self.resume, event.value)
+
+
+class Simulation:
+    """Event calendar, simulation clock, and process scheduler.
+
+    The calendar is a binary heap of ``(time, sequence, callback,
+    argument)`` entries.  The sequence number makes scheduling stable:
+    two callbacks scheduled for the same instant run in the order they
+    were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
+        self._sequence = 0
+        self._process_count = 0
+        self._running = False
+
+    def __repr__(self) -> str:
+        return f"<Simulation t={self.now:.6g} pending={len(self._heap)}>"
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` at ``now + delay``."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule at negative/NaN delay {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, arg))
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a new :class:`SimEvent` owned by this simulation."""
+        return SimEvent(self, name=name)
+
+    def spawn(self, gen: Iterator[Any], name: str = "") -> Process:
+        """Create and start a process from generator ``gen``.
+
+        The process takes its first step at the current simulation
+        time (as a zero-delay calendar entry).
+        """
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                "spawn() expects a generator; did you forget to call the "
+                "process function?"
+            )
+        self._process_count += 1
+        proc = Process(self, gen, name or f"process-{self._process_count}")  # type: ignore[arg-type]
+        self.schedule(0.0, proc.resume, None)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next calendar entry.  Returns False when empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback, arg = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError(
+                f"simulation clock would move backwards: {time} < {self.now}"
+            )
+        self.now = time
+        callback(arg)
+        return True
+
+    def peek(self) -> float:
+        """Time of the next calendar entry, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the calendar drains, ``until`` is reached, or
+        ``max_events`` entries have executed.  Returns the final clock.
+        """
+        if self._running:
+            raise SimulationError("Simulation.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if until is not None and self.peek() > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now

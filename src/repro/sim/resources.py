@@ -1,0 +1,243 @@
+"""Shared resources for simulation processes.
+
+:class:`Facility` models a CSIM *facility*: ``capacity`` identical
+servers fronted by a FIFO queue.  :class:`Store` is a bounded buffer
+(mailbox) for producer/consumer pipelines, used e.g. to model the
+staging buffers between a disk read thread and the network write
+thread in the time-fragmentation algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.monitor import Tally, TimeWeighted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Process, Simulation
+
+
+class _Request:
+    """Base class for blocking requests yielded by processes."""
+
+    def __init__(self) -> None:
+        self.proc: Optional["Process"] = None
+
+    def bind(self, proc: "Process") -> None:
+        """Attach the issuing process; subclasses decide grant/queue."""
+        raise NotImplementedError
+
+    def _grant(self, value: Any = None) -> None:
+        assert self.proc is not None
+        self.proc.sim.schedule(0.0, self.proc.resume, value)
+
+
+class FacilityRequest(_Request):
+    """A pending claim on a :class:`Facility` server."""
+
+    def __init__(self, facility: "Facility") -> None:
+        super().__init__()
+        self.facility = facility
+        self.issued_at: float = 0.0
+
+    def bind(self, proc: "Process") -> None:
+        self.proc = proc
+        self.issued_at = proc.sim.now
+        self.facility._arrive(self)
+
+
+class Facility:
+    """``capacity`` identical servers with a FIFO queue.
+
+    Usage from a process::
+
+        yield facility.request()
+        ...                       # hold the server
+        facility.release()
+
+    Statistics collected: utilisation (time-weighted busy servers),
+    queue length (time-weighted), and queueing delay (tally).
+    """
+
+    def __init__(self, sim: "Simulation", name: str = "", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"facility capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or f"facility-{id(self):x}"
+        self.capacity = capacity
+        self.busy = 0
+        self._queue: Deque[FacilityRequest] = deque()
+        self.utilization = TimeWeighted(sim, name=f"{self.name}.busy")
+        self.queue_length = TimeWeighted(sim, name=f"{self.name}.queue")
+        self.delay = Tally(name=f"{self.name}.delay")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Facility {self.name} busy={self.busy}/{self.capacity} "
+            f"queued={len(self._queue)}>"
+        )
+
+    @property
+    def idle(self) -> int:
+        """Number of currently idle servers."""
+        return self.capacity - self.busy
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._queue)
+
+    def request(self) -> FacilityRequest:
+        """Return a request command for a process to ``yield``."""
+        return FacilityRequest(self)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True when a server was claimed."""
+        if self.busy < self.capacity:
+            self.busy += 1
+            self.utilization.record(self.busy)
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release one server, handing it to the head of the queue."""
+        if self.busy <= 0:
+            raise SimulationError(f"release on idle facility {self.name!r}")
+        if self._queue:
+            request = self._queue.popleft()
+            self.queue_length.record(len(self._queue))
+            self.delay.record(self.sim.now - request.issued_at)
+            request._grant(self)
+        else:
+            self.busy -= 1
+            self.utilization.record(self.busy)
+
+    def _arrive(self, request: FacilityRequest) -> None:
+        if self.busy < self.capacity:
+            self.busy += 1
+            self.utilization.record(self.busy)
+            self.delay.record(0.0)
+            request._grant(self)
+        else:
+            self._queue.append(request)
+            self.queue_length.record(len(self._queue))
+
+
+class StoreGet(_Request):
+    """A pending take from a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__()
+        self.store = store
+
+    def bind(self, proc: "Process") -> None:
+        self.proc = proc
+        self.store._arrive_get(self)
+
+
+class StorePut(_Request):
+    """A pending insert into a bounded :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__()
+        self.store = store
+        self.item = item
+
+    def bind(self, proc: "Process") -> None:
+        self.proc = proc
+        self.store._arrive_put(self)
+
+
+class Store:
+    """A FIFO mailbox with optional capacity bound.
+
+    ``yield store.put(item)`` blocks while the store is full;
+    ``yield store.get()`` blocks while it is empty and evaluates to
+    the retrieved item.
+    """
+
+    def __init__(
+        self, sim: "Simulation", name: str = "", capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or f"store-{id(self):x}"
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self.occupancy = TimeWeighted(sim, name=f"{self.name}.occupancy")
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {self.name} {len(self.items)}/{cap}>"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Return a put command for a process to ``yield``."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Return a get command for a process to ``yield``."""
+        return StoreGet(self)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put from non-process code."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter._grant(item)
+            return True
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            self.occupancy.record(len(self.items))
+            return True
+        return False
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self.occupancy.record(len(self.items))
+        self._drain_putters()
+        return item
+
+    def _arrive_get(self, request: StoreGet) -> None:
+        if self.items:
+            item = self.items.popleft()
+            self.occupancy.record(len(self.items))
+            request._grant(item)
+            self._drain_putters()
+        else:
+            self._getters.append(request)
+
+    def _arrive_put(self, request: StorePut) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter._grant(request.item)
+            request._grant(None)
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(request.item)
+            self.occupancy.record(len(self.items))
+            request._grant(None)
+        else:
+            self._putters.append(request)
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            self.items.append(putter.item)
+            self.occupancy.record(len(self.items))
+            putter._grant(None)
+
+
+def facility_set(sim: "Simulation", name: str, count: int) -> List[Facility]:
+    """Create ``count`` single-server facilities named ``name[i]``."""
+    return [Facility(sim, name=f"{name}[{i}]") for i in range(count)]

@@ -1,0 +1,237 @@
+"""Simulation configuration (Table 3 of the paper).
+
+:class:`SimulationConfig` collects every knob of the experiment;
+:func:`PaperConfig` returns the paper's exact full-scale parameters
+(1000 disks, 2000 objects of 3000 subobjects, 100 mbps media over
+20 mbps drives, 40 mbps tertiary) and :func:`ScaledConfig` a
+proportionally reduced configuration that preserves every ratio the
+results depend on (``D/M``, database ÷ disk capacity = 10, exactly one
+object per VDR cluster, working set ÷ capacity) while running ~100×
+faster — see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.hardware.disk import DiskModel, disk_for_effective_bandwidth
+from repro.media.tape_layout import TapeOrder
+
+
+def _table3_disk(num_cylinders: int) -> DiskModel:
+    """A Table 3 drive with the given cylinder count: 1.512 MB
+    cylinders, Sabre seek/latency profile, peak rate solved so the
+    effective bandwidth at 1-cylinder fragments is exactly 20 mbps."""
+    base = DiskModel(
+        transfer_rate=units.mbps(24.19),  # placeholder, solved below
+        num_cylinders=num_cylinders,
+        cylinder_capacity=units.megabytes(1.512),
+        min_seek=units.msec(4.0),
+        avg_seek=units.msec(15.0),
+        max_seek=units.msec(35.0),
+        avg_latency=units.msec(8.33),
+        max_latency=units.msec(16.83),
+        name=f"table3-{num_cylinders}cyl",
+    )
+    return disk_for_effective_bandwidth(
+        effective_bandwidth=units.mbps(20.0), base=base, fragment_cylinders=1,
+        name=base.name,
+    )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Every parameter of one simulation run."""
+
+    # Hardware.
+    disk: DiskModel
+    num_disks: int
+    tertiary_bandwidth: float
+    tertiary_reposition: float
+    # Database.
+    num_objects: int
+    num_subobjects: int
+    display_bandwidth: float
+    fragment_cylinders: int = 1
+    # Technique.
+    technique: str = "simple"  # "simple" | "staggered" | "vdr"
+    stride: Optional[int] = None  # defaults to M for simple, 1 for staggered
+    tape_order: TapeOrder = TapeOrder.FRAGMENT_ORDERED
+    queue_discipline: str = "scan"
+    replacement: str = "lfu"  # "lfu" | "lru"
+    replication_threshold: int = 1  # VDR MRT trigger (waiters per copy)
+    replication_source: str = "stream"  # VDR replica source: stream | tertiary
+    # Workload.
+    num_stations: int = 16
+    access_mean: Optional[float] = 10.0  # None = uniform
+    think_intervals: int = 0
+    # Run control.
+    warmup_intervals: int = 600
+    measure_intervals: int = 3000
+    seed: int = 42
+    preload: bool = True
+    fill_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.technique not in ("simple", "staggered", "vdr"):
+            raise ConfigurationError(f"unknown technique {self.technique!r}")
+        if self.replication_source not in ("stream", "tertiary"):
+            raise ConfigurationError(
+                f"unknown replication_source {self.replication_source!r}"
+            )
+        if self.num_disks < 1 or self.num_objects < 1 or self.num_subobjects < 1:
+            raise ConfigurationError("counts must be >= 1")
+        if not 0 < self.fill_factor <= 1.0:
+            raise ConfigurationError(
+                f"fill_factor must be in (0, 1], got {self.fill_factor}"
+            )
+        if self.degree > self.num_disks:
+            raise ConfigurationError(
+                f"degree {self.degree} exceeds {self.num_disks} disks"
+            )
+        if self.technique in ("simple", "vdr") and self.num_disks % self.degree:
+            raise ConfigurationError(
+                f"{self.technique} needs D divisible by M: "
+                f"D={self.num_disks}, M={self.degree}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def disk_bandwidth(self) -> float:
+        """Effective per-drive bandwidth ``B_disk``."""
+        return self.disk.effective_bandwidth(self.fragment_cylinders)
+
+    @property
+    def degree(self) -> int:
+        """Degree of declustering ``M``."""
+        return max(
+            1, math.ceil(self.display_bandwidth / self.disk_bandwidth - 1e-9)
+        )
+
+    @property
+    def effective_stride(self) -> int:
+        """The stride actually used: config override, else M for
+        simple striping, 1 for staggered (VDR has no stride)."""
+        if self.stride is not None:
+            return self.stride
+        return self.degree if self.technique == "simple" else 1
+
+    @property
+    def num_clusters(self) -> int:
+        """``R = D / M`` (meaningful for simple striping and VDR)."""
+        return self.num_disks // self.degree
+
+    @property
+    def interval_length(self) -> float:
+        """``S(C_i)`` in seconds."""
+        return self.disk.service_time(self.fragment_cylinders)
+
+    @property
+    def fragment_size(self) -> float:
+        """Fragment size in megabits."""
+        return self.disk.fragment_size(self.fragment_cylinders)
+
+    @property
+    def object_size(self) -> float:
+        """Size of one object in megabits."""
+        return self.num_subobjects * self.degree * self.fragment_size
+
+    @property
+    def display_time(self) -> float:
+        """Seconds to display one object."""
+        return self.object_size / self.display_bandwidth
+
+    @property
+    def disk_capacity(self) -> float:
+        """Usable aggregate disk storage in megabits."""
+        return self.num_disks * self.disk.capacity * self.fill_factor
+
+    @property
+    def max_resident_objects(self) -> int:
+        """Objects that fit on disk simultaneously."""
+        return int(self.disk_capacity / self.object_size + 1e-9)
+
+    @property
+    def database_size(self) -> float:
+        """Total database size in megabits."""
+        return self.num_objects * self.object_size
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        mean = "uniform" if self.access_mean is None else f"{self.access_mean:g}"
+        return (
+            f"{self.technique} D={self.num_disks} M={self.degree} "
+            f"k={'n/a' if self.technique == 'vdr' else self.effective_stride} "
+            f"objects={self.num_objects}x{self.num_subobjects} "
+            f"stations={self.num_stations} mean={mean}"
+        )
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def PaperConfig(**overrides) -> SimulationConfig:
+    """The paper's full-scale Table 3 configuration.
+
+    1000 drives of 3000×1.512 MB cylinders (4.54 GB), 2000 objects of
+    3000 subobjects at 100 mbps (M = 5, 1814 s displays), one 40 mbps
+    tertiary device, stride 5 (simple striping).
+    """
+    config = SimulationConfig(
+        disk=_table3_disk(3000),
+        num_disks=1000,
+        tertiary_bandwidth=units.mbps(40.0),
+        tertiary_reposition=units.seconds(5.0),
+        num_objects=2000,
+        num_subobjects=3000,
+        display_bandwidth=units.mbps(100.0),
+        technique="simple",
+        num_stations=16,
+        access_mean=10.0,
+        warmup_intervals=3000,
+        measure_intervals=12000,
+    )
+    return config.with_(**overrides) if overrides else config
+
+
+def ScaledConfig(scale: int = 10, **overrides) -> SimulationConfig:
+    """The paper's configuration shrunk by ``scale`` in every linear
+    dimension that does not change the physics:
+
+    * ``D``, object count, subobject count, and station counts divide
+      by ``scale``;
+    * the access-distribution means divide by ``scale`` so the working
+      set ÷ disk capacity ratios (0.5 / 1 / 2) are preserved;
+    * drives shrink to ``3000/scale`` cylinders so one VDR cluster
+      still holds exactly one object and the database is still 10×
+      the disk capacity.
+
+    ``M``, the stride, ``B_disk``, ``B_display``, ``B_tertiary``, and
+    the interval length are untouched.
+    """
+    if scale < 1 or 3000 % scale or 1000 % scale or 2000 % scale:
+        raise ConfigurationError(
+            f"scale must divide 1000, 2000 and 3000; got {scale}"
+        )
+    config = SimulationConfig(
+        disk=_table3_disk(3000 // scale),
+        num_disks=1000 // scale,
+        tertiary_bandwidth=units.mbps(40.0),
+        tertiary_reposition=units.seconds(5.0),
+        num_objects=2000 // scale,
+        num_subobjects=3000 // scale,
+        display_bandwidth=units.mbps(100.0),
+        technique="simple",
+        num_stations=16,
+        access_mean=10.0 / scale,
+        warmup_intervals=2 * (3000 // scale),
+        measure_intervals=10 * (3000 // scale),
+    )
+    return config.with_(**overrides) if overrides else config

@@ -1,0 +1,97 @@
+"""A DES-kernel-driven engine, for cross-validation.
+
+The production :class:`~repro.simulation.engine.IntervalEngine`
+advances the model with a plain loop.  This module drives exactly the
+same policy and stations from the :mod:`repro.sim` kernel instead —
+one *clock process* fires the per-interval work, and each completion
+wakes the issuing station's process through an event.  It exists to
+demonstrate (and test) that the interval-stepped loop is behaviourally
+identical to a process-oriented CSIM-style simulation: DESIGN.md's
+ablation 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulation, hold
+from repro.simulation.policy import Completion, StoragePolicy
+from repro.simulation.results import SimulationResult
+from repro.workload.stations import StationPool
+
+
+class DESEngine:
+    """Drives a storage policy from the process-oriented kernel."""
+
+    def __init__(
+        self,
+        policy: StoragePolicy,
+        stations: StationPool,
+        interval_length: float,
+        technique: str = "",
+        access_mean: Optional[float] = None,
+    ) -> None:
+        if interval_length <= 0:
+            raise ConfigurationError(
+                f"interval_length must be > 0, got {interval_length}"
+            )
+        self.policy = policy
+        self.stations = stations
+        self.interval_length = interval_length
+        self.technique = technique
+        self.access_mean = access_mean
+        self.sim = Simulation()
+        self.interval = 0
+        self._completions_this_interval: List[Completion] = []
+
+    def _clock_process(
+        self, total_intervals: int, on_completion, first_measured: int, result
+    ):
+        """One generator process that owns the interval cadence."""
+        for _ in range(total_intervals):
+            interval = self.interval
+            for request in self.stations.ready_requests(interval):
+                self.policy.submit(request, interval)
+            for completion in self.policy.advance(interval):
+                self.stations.complete(completion.request, interval)
+                on_completion(interval, completion)
+            if interval >= first_measured:
+                sample = self.policy.utilization_sample()
+                result.record_utilization(
+                    sample.active_displays, sample.busy_fraction
+                )
+            self.interval += 1
+            yield hold(self.interval_length)
+
+    def run(
+        self, warmup_intervals: int, measure_intervals: int
+    ) -> SimulationResult:
+        """Run warmup then a measurement window on the DES kernel."""
+        if warmup_intervals < 0 or measure_intervals < 1:
+            raise ConfigurationError(
+                "need warmup_intervals >= 0 and measure_intervals >= 1"
+            )
+        result = SimulationResult(
+            technique=self.technique,
+            num_stations=len(self.stations),
+            access_mean=self.access_mean,
+            interval_length=self.interval_length,
+            warmup_intervals=warmup_intervals,
+            measure_intervals=measure_intervals,
+            completed=0,
+        )
+        first_measured = self.interval + warmup_intervals
+
+        def on_completion(interval: int, completion: Completion) -> None:
+            if interval >= first_measured:
+                result.record(completion)
+
+        total = warmup_intervals + measure_intervals
+        self.sim.spawn(
+            self._clock_process(total, on_completion, first_measured, result),
+            name="interval-clock",
+        )
+        self.sim.run()
+        result.policy_stats = self.policy.stats()
+        return result

@@ -1,0 +1,93 @@
+"""A structured event log for scheduler decisions.
+
+Optional (off by default — the hot path never pays for it): pass an
+:class:`EventLog` to a policy and it records admissions, completions,
+evictions, materialisations, and replications as typed entries that
+tests and post-mortem analysis can query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One scheduler decision."""
+
+    interval: int
+    kind: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.interval}] {self.kind} {detail}".rstrip()
+
+
+class EventLog:
+    """A bounded, queryable log of scheduler events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries (oldest dropped first); ``None`` keeps
+        everything.
+    """
+
+    KINDS = (
+        "admit",
+        "complete",
+        "evict",
+        "materialize_start",
+        "materialize_done",
+        "replicate",
+        "reposition",
+    )
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._entries: Deque[LogEntry] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def record(self, interval: int, kind: str, **details) -> None:
+        """Append one event."""
+        if kind not in self.KINDS:
+            raise ConfigurationError(f"unknown event kind {kind!r}")
+        if (
+            self._capacity is not None
+            and len(self._entries) == self._capacity
+        ):
+            self.dropped += 1
+        self._entries.append(LogEntry(interval=interval, kind=kind,
+                                      details=details))
+
+    def of_kind(self, kind: str) -> List[LogEntry]:
+        """All retained entries of one kind, oldest first."""
+        return [entry for entry in self._entries if entry.kind == kind]
+
+    def between(self, start: int, end: int) -> List[LogEntry]:
+        """Entries with ``start <= interval < end``."""
+        return [e for e in self._entries if start <= e.interval < end]
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of retained entries by kind."""
+        histogram: Dict[str, int] = {}
+        for entry in self._entries:
+            histogram[entry.kind] = histogram.get(entry.kind, 0) + 1
+        return histogram
+
+    def tail(self, count: int = 20) -> List[LogEntry]:
+        """The most recent ``count`` entries."""
+        return list(self._entries)[-count:]

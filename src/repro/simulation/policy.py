@@ -1,0 +1,87 @@
+"""The storage-policy interface the engine drives.
+
+A policy owns everything below the request queue: residency,
+placement, admission, the tertiary device, and active displays.  The
+engine owns the clock and the (closed-loop) display stations; per
+interval it calls :meth:`StoragePolicy.advance` and feeds each
+returned :class:`Completion` back into its stations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Request:
+    """One display request from a station."""
+
+    request_id: int
+    station_id: int
+    object_id: int
+    issued_at: int  # interval index
+
+    def __str__(self) -> str:
+        return (
+            f"request {self.request_id} (station {self.station_id}, "
+            f"object {self.object_id}, t={self.issued_at})"
+        )
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A finished display, reported by the policy to the engine."""
+
+    request: Request
+    deliver_start: int  # interval of the first subobject's delivery
+    finished_at: int  # interval of the last subobject's delivery
+
+    @property
+    def startup_latency(self) -> int:
+        """Intervals from request to first delivery."""
+        return self.deliver_start - self.request.issued_at
+
+    @property
+    def service_intervals(self) -> int:
+        """Intervals of actual delivery."""
+        return self.finished_at - self.deliver_start + 1
+
+
+class StoragePolicy(abc.ABC):
+    """What the engine requires of a storage technique."""
+
+    @abc.abstractmethod
+    def preload(self, object_ids: List[int]) -> None:
+        """Make the given objects disk resident at no cost (warm start)."""
+
+    @abc.abstractmethod
+    def submit(self, request: Request, interval: int) -> None:
+        """A station's request enters the system."""
+
+    @abc.abstractmethod
+    def advance(self, interval: int) -> List[Completion]:
+        """Advance one interval; return displays that finished in it."""
+
+    @abc.abstractmethod
+    def pending_count(self) -> int:
+        """Requests submitted but not yet completed."""
+
+    @abc.abstractmethod
+    def stats(self) -> Dict[str, float]:
+        """Policy-specific statistics for the result report."""
+
+    def utilization_sample(self) -> "UtilizationSample":
+        """Instantaneous load snapshot (active displays, fraction of
+        the array's bandwidth in use).  Policies may override; the
+        default reports nothing."""
+        return UtilizationSample(active_displays=0, busy_fraction=0.0)
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One per-interval load observation."""
+
+    active_displays: int
+    busy_fraction: float

@@ -1,0 +1,112 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import units
+from repro.simulation.policy import Completion
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Throughput is reported in **displays per hour**, the paper's
+    Figure 8 / Table 4 metric.
+    """
+
+    technique: str
+    num_stations: int
+    access_mean: float | None
+    interval_length: float
+    warmup_intervals: int
+    measure_intervals: int
+    completed: int
+    latencies_intervals: List[int] = field(default_factory=list)
+    policy_stats: Dict[str, float] = field(default_factory=dict)
+    # Per-interval load samples over the measurement window.
+    concurrency_sum: int = 0
+    concurrency_max: int = 0
+    busy_fraction_sum: float = 0.0
+    samples: int = 0
+
+    @property
+    def measure_seconds(self) -> float:
+        """Length of the measurement window in seconds."""
+        return self.measure_intervals * self.interval_length
+
+    @property
+    def throughput_per_hour(self) -> float:
+        """Displays completed per hour of simulated time."""
+        if self.measure_seconds <= 0:
+            return 0.0
+        return units.per_hour(self.completed / self.measure_seconds)
+
+    @property
+    def mean_startup_latency_seconds(self) -> float:
+        """Mean request-to-first-delivery latency."""
+        if not self.latencies_intervals:
+            return 0.0
+        mean_intervals = sum(self.latencies_intervals) / len(self.latencies_intervals)
+        return mean_intervals * self.interval_length
+
+    @property
+    def max_startup_latency_seconds(self) -> float:
+        """Worst observed startup latency."""
+        if not self.latencies_intervals:
+            return 0.0
+        return max(self.latencies_intervals) * self.interval_length
+
+    def record(self, completion: Completion) -> None:
+        """Add one measured completion."""
+        self.completed += 1
+        self.latencies_intervals.append(completion.startup_latency)
+
+    def record_utilization(self, active_displays: int, busy_fraction: float) -> None:
+        """Add one per-interval load sample."""
+        self.samples += 1
+        self.concurrency_sum += active_displays
+        self.busy_fraction_sum += busy_fraction
+        if active_displays > self.concurrency_max:
+            self.concurrency_max = active_displays
+
+    @property
+    def mean_concurrent_displays(self) -> float:
+        """Average simultaneously active displays in the window."""
+        return self.concurrency_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_busy_fraction(self) -> float:
+        """Average fraction of array bandwidth in use in the window."""
+        return self.busy_fraction_sum / self.samples if self.samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for tabular reports."""
+        report = {
+            "technique": self.technique,
+            "stations": self.num_stations,
+            "access_mean": self.access_mean if self.access_mean is not None else 0.0,
+            "completed": self.completed,
+            "throughput_per_hour": round(self.throughput_per_hour, 2),
+            "mean_latency_s": round(self.mean_startup_latency_seconds, 2),
+            "max_latency_s": round(self.max_startup_latency_seconds, 2),
+            "mean_concurrent": round(self.mean_concurrent_displays, 2),
+            "max_concurrent": self.concurrency_max,
+            "mean_busy_fraction": round(self.mean_busy_fraction, 3),
+        }
+        report.update(
+            {k: round(v, 4) if isinstance(v, float) else v
+             for k, v in self.policy_stats.items()}
+        )
+        return report
+
+
+def improvement_percent(striping: SimulationResult, vdr: SimulationResult) -> float:
+    """Table 4's metric: percentage improvement in throughput of
+    (simple) striping over virtual data replication."""
+    if vdr.throughput_per_hour <= 0:
+        return float("inf") if striping.throughput_per_hour > 0 else 0.0
+    ratio = striping.throughput_per_hour / vdr.throughput_per_hour
+    return (ratio - 1.0) * 100.0

@@ -1,0 +1,190 @@
+"""Experiment runner: build a configured system and run it.
+
+:func:`run_experiment` assembles the catalog, hardware, workload, and
+the configured storage policy (simple striping, staggered striping, or
+VDR) and runs warmup + measurement, returning a
+:class:`~repro.simulation.results.SimulationResult`.
+:func:`run_sweep` varies one field (typically ``num_stations``) across
+a list of values — the shape of the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.admission import AdmissionMode
+from repro.core.disk_manager import DiskManager
+from repro.core.object_manager import ObjectManager, ReplacementPolicy
+from repro.core.scheduler import StaggeredStripingPolicy
+from repro.core.tertiary_manager import TertiaryManager
+from repro.errors import ConfigurationError
+from repro.hardware.disk_array import DiskArray
+from repro.hardware.tertiary import TertiaryDevice
+from repro.media.catalog import Catalog, build_uniform_catalog
+from repro.media.objects import MediaType
+from repro.media.tape_layout import TapeLayout
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import IntervalEngine
+from repro.simulation.policy import StoragePolicy
+from repro.simulation.results import SimulationResult
+from repro.sim.rng import RandomStream
+from repro.vdr.clusters import ClusterArray
+from repro.vdr.scheduler import VirtualReplicationPolicy
+from repro.workload.access import AccessDistribution, GeometricAccess, UniformAccess
+from repro.workload.stations import StationPool
+
+
+def build_catalog(config: SimulationConfig) -> Catalog:
+    """The configured single-media-type database."""
+    media = MediaType(name="video", display_bandwidth=config.display_bandwidth)
+    return build_uniform_catalog(
+        num_objects=config.num_objects,
+        media_type=media,
+        num_subobjects=config.num_subobjects,
+        degree=config.degree,
+        fragment_size=config.fragment_size,
+    )
+
+
+def build_access(
+    config: SimulationConfig, catalog: Catalog, stream: RandomStream
+) -> AccessDistribution:
+    """The configured access distribution over the catalog."""
+    if config.access_mean is None:
+        return UniformAccess(catalog.object_ids, stream)
+    return GeometricAccess(catalog.object_ids, config.access_mean, stream)
+
+
+def build_policy(config: SimulationConfig, catalog: Catalog) -> StoragePolicy:
+    """The configured storage policy, fully wired."""
+    device = TertiaryDevice(
+        bandwidth=config.tertiary_bandwidth,
+        reposition_time=config.tertiary_reposition,
+    )
+    tape = TapeLayout(order=config.tape_order)
+    if config.technique == "vdr":
+        cluster_capacity = max(
+            1,
+            int(
+                (config.degree * config.disk.capacity * config.fill_factor)
+                / config.object_size
+                + 1e-9
+            ),
+        )
+        clusters = ClusterArray(
+            num_disks=config.num_disks,
+            degree=config.degree,
+            capacity_objects=cluster_capacity,
+        )
+        return VirtualReplicationPolicy(
+            catalog=catalog,
+            clusters=clusters,
+            device=device,
+            tape_layout=tape,
+            interval_length=config.interval_length,
+            replication_threshold=config.replication_threshold,
+            replication_source=config.replication_source,
+        )
+    array = DiskArray(model=config.disk, num_disks=config.num_disks)
+    # Simple striping places at cluster boundaries; the degenerate
+    # k = D stride pins objects to fixed drive groups, which must tile
+    # (alignment M) or storage overflows.  Other strides spread
+    # placements one drive apart.
+    stride = config.effective_stride
+    if config.technique == "simple" or stride % config.num_disks == 0:
+        alignment = config.degree
+    else:
+        alignment = 1
+    disk_manager = DiskManager(
+        array=array,
+        stride=config.effective_stride,
+        fragment_cylinders=config.fragment_cylinders,
+        placement_alignment=alignment,
+    )
+    object_manager = ObjectManager(
+        catalog=catalog,
+        capacity=config.disk_capacity,
+        policy=(
+            ReplacementPolicy.LFU
+            if config.replacement == "lfu"
+            else ReplacementPolicy.LRU
+        ),
+    )
+    tertiary_manager = TertiaryManager(
+        device=device,
+        tape_layout=tape,
+        interval_length=config.interval_length,
+        disk_bandwidth=config.disk_bandwidth,
+    )
+    mode = (
+        AdmissionMode.CONTIGUOUS
+        if config.technique == "simple"
+        else AdmissionMode.FRAGMENTED
+    )
+    return StaggeredStripingPolicy(
+        catalog=catalog,
+        disk_manager=disk_manager,
+        object_manager=object_manager,
+        tertiary_manager=tertiary_manager,
+        admission_mode=mode,
+        queue_discipline=config.queue_discipline,
+    )
+
+
+def preload_ids(config: SimulationConfig, access: AccessDistribution) -> List[int]:
+    """Most-popular objects that fill the disks (warm start)."""
+    ranking = access.popularity_ranking()
+    if config.technique == "vdr":
+        limit = config.num_clusters * max(
+            1,
+            int(
+                (config.degree * config.disk.capacity * config.fill_factor)
+                / config.object_size
+                + 1e-9
+            ),
+        )
+    else:
+        limit = config.max_resident_objects
+    return ranking[:limit]
+
+
+def build_engine(config: SimulationConfig) -> IntervalEngine:
+    """Assemble the full system for one run."""
+    catalog = build_catalog(config)
+    stream = RandomStream(seed=config.seed)
+    access = build_access(config, catalog, stream.fork(1))
+    policy = build_policy(config, catalog)
+    if config.preload:
+        policy.preload(preload_ids(config, access))
+    stations = StationPool(
+        num_stations=config.num_stations,
+        access=access,
+        think_intervals=config.think_intervals,
+    )
+    return IntervalEngine(
+        policy=policy,
+        stations=stations,
+        interval_length=config.interval_length,
+        technique=config.technique,
+        access_mean=config.access_mean,
+    )
+
+
+def run_experiment(config: SimulationConfig) -> SimulationResult:
+    """Run one configuration to completion."""
+    engine = build_engine(config)
+    return engine.run(config.warmup_intervals, config.measure_intervals)
+
+
+def run_sweep(
+    base: SimulationConfig, field: str, values: Sequence
+) -> List[SimulationResult]:
+    """Run ``base`` once per value of ``field``."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    return [run_experiment(base.with_(**{field: value})) for value in values]
+
+
+def sweep_table(results: Iterable[SimulationResult]) -> List[Dict[str, float]]:
+    """Summaries of a sweep, one row per run."""
+    return [result.summary() for result in results]

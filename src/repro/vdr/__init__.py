@@ -1,0 +1,23 @@
+"""Virtual Data Replication — the [GS93] baseline (§2, §4).
+
+VDR partitions the ``D`` drives into ``R = D / M`` physical clusters
+and declusters each object across the drives of a *single* cluster.  A
+display therefore monopolises one cluster for the object's whole
+display time, so a frequently-accessed object turns its cluster into a
+bottleneck.  The technique answers with *dynamic replication*: when
+requests queue up for an object, an idle cluster is overwritten with a
+new replica — created by mirroring an ongoing display's stream (the
+"virtual replica" mechanism), configured here with the Minimum
+Response Time (MRT) trigger of [GS93].
+"""
+
+from repro.vdr.clusters import Cluster, ClusterArray
+from repro.vdr.replication import MRTReplication
+from repro.vdr.scheduler import VirtualReplicationPolicy
+
+__all__ = [
+    "Cluster",
+    "ClusterArray",
+    "MRTReplication",
+    "VirtualReplicationPolicy",
+]

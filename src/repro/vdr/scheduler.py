@@ -1,0 +1,353 @@
+"""Virtual data replication as a pluggable storage policy (§2, §4.1).
+
+Per interval the policy:
+
+1. retires finished cluster activities (displays complete; clones and
+   materialisations register their new copy);
+2. starts the next queued materialisation when the tertiary device and
+   a victim cluster are both free;
+3. walks the admission queue: a request whose object has a free copy
+   starts displaying on that cluster; on the way it may trigger an MRT
+   replication (a clone mirrored from the new display onto a victim
+   cluster); a request whose object has no copy at all queues a
+   materialisation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.tertiary import TertiaryDevice
+from repro.media.catalog import Catalog
+from repro.media.tape_layout import TapeLayout
+from repro.sim.monitor import Tally
+from repro.simulation.policy import Completion, Request, StoragePolicy
+from repro.vdr.clusters import ClusterArray
+from repro.vdr.replication import MRTReplication
+
+
+class VirtualReplicationPolicy(StoragePolicy):
+    """The [GS93] baseline with MRT dynamic replication.
+
+    Parameters
+    ----------
+    catalog:
+        The database.
+    clusters:
+        The physical cluster array.
+    device:
+        The tertiary store.
+    tape_layout:
+        Recording order on the tertiary medium.
+    interval_length:
+        ``S(C_i)`` in seconds.
+    replication_threshold:
+        MRT trigger (waiters per copy).
+    replication_source:
+        ``"stream"`` mirrors an ongoing display onto the victim
+        cluster (replica ready after one display time, no tertiary
+        involvement — a strong baseline); ``"tertiary"`` re-reads the
+        object from tertiary store (replicas queue on the 40 mbps
+        device — the weaker behaviour the paper's Table 4 magnitudes
+        suggest).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        clusters: ClusterArray,
+        device: TertiaryDevice,
+        tape_layout: TapeLayout,
+        interval_length: float,
+        replication_threshold: int = 1,
+        replication_source: str = "stream",
+        event_log=None,
+    ) -> None:
+        if interval_length <= 0:
+            raise ConfigurationError(
+                f"interval_length must be > 0, got {interval_length}"
+            )
+        if replication_source not in ("stream", "tertiary"):
+            raise ConfigurationError(
+                f"replication_source must be 'stream' or 'tertiary', "
+                f"got {replication_source!r}"
+            )
+        self.catalog = catalog
+        self.clusters = clusters
+        self.device = device
+        self.tape_layout = tape_layout
+        self.interval_length = interval_length
+        self._pins: Dict[int, int] = {}
+        self._frequency: Dict[int, int] = {}
+        self.replication = MRTReplication(
+            clusters,
+            frequency_of=lambda oid: self._frequency.get(oid, 0),
+            is_pinned=lambda oid: self._pins.get(oid, 0) > 0,
+            threshold=replication_threshold,
+        )
+        self.replication_source = replication_source
+        self.event_log = event_log
+        self._queue: List[Request] = []
+        # (object_id, is_replica): replica materialisations proceed
+        # even though a copy already exists.
+        self._mat_queue: Deque[Tuple[int, bool]] = deque()
+        self._mat_pending: Set[int] = set()
+        self._tertiary_busy_until = 0
+        # Event heap: (interval, seq, kind, cluster_index, payload)
+        self._events: List[Tuple[int, int, str, int, object]] = []
+        self._event_seq = 0
+        # Statistics.
+        self.completed = 0
+        self.startup_latency = Tally(name="vdr.startup")
+        self.queue_length_sum = 0
+        self.intervals_advanced = 0
+        self.tertiary_busy_intervals = 0
+        self.materializations = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualReplicationPolicy R={len(self.clusters)} "
+            f"queue={len(self._queue)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # StoragePolicy interface
+    # ------------------------------------------------------------------
+    def preload(self, object_ids: List[int]) -> None:
+        """Assign one object per cluster (in order) at no cost."""
+        cluster_index = 0
+        for object_id in object_ids:
+            while (
+                cluster_index < len(self.clusters.clusters)
+                and not self.clusters.clusters[cluster_index].has_space
+            ):
+                cluster_index += 1
+            if cluster_index >= len(self.clusters.clusters):
+                raise ConfigurationError(
+                    "preload exceeds total cluster capacity"
+                )
+            self.clusters.add_copy(object_id, cluster_index)
+
+    def submit(self, request: Request, interval: int) -> None:
+        """A request enters the system."""
+        object_id = request.object_id
+        self._frequency[object_id] = self._frequency.get(object_id, 0) + 1
+        self._pins[object_id] = self._pins.get(object_id, 0) + 1
+        if self.clusters.copy_count(object_id) > 0:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._queue_materialization(object_id)
+        self._queue.append(request)
+
+    def advance(self, interval: int) -> List[Completion]:
+        """One interval: retire activities, drive tertiary, admit."""
+        self.intervals_advanced += 1
+        completions = self._retire_events(interval)
+        self._drive_tertiary(interval)
+        self._admission_pass(interval)
+        if interval < self._tertiary_busy_until:
+            self.tertiary_busy_intervals += 1
+        self.queue_length_sum += len(self._queue)
+        return completions
+
+    def pending_count(self) -> int:
+        """Queued requests plus active displays."""
+        active = sum(
+            1 for _t, _s, kind, _c, _p in self._events if kind == "display"
+        )
+        return len(self._queue) + active
+
+    def utilization_sample(self):
+        """Active displays and fraction of clusters busy right now."""
+        from repro.simulation.policy import UtilizationSample
+
+        active = 0
+        busy = 0
+        for cluster in self.clusters.clusters:
+            if cluster.activity is not None:
+                busy += 1
+                if cluster.activity == "display":
+                    active += 1
+        return UtilizationSample(
+            active_displays=active,
+            busy_fraction=busy / len(self.clusters.clusters),
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Policy statistics for the result report."""
+        total = self.hits + self.misses
+        return {
+            "completed_displays": float(self.completed),
+            "mean_startup_latency_intervals": self.startup_latency.mean,
+            "max_startup_latency_intervals": (
+                self.startup_latency.maximum if self.startup_latency.count else 0.0
+            ),
+            "hit_rate": self.hits / total if total else 0.0,
+            "replicas_created": float(self.replication.replicas_created),
+            "materializations": float(self.materializations),
+            "mean_queue_length": (
+                self.queue_length_sum / self.intervals_advanced
+                if self.intervals_advanced
+                else 0.0
+            ),
+            "tertiary_utilization": (
+                self.tertiary_busy_intervals / self.intervals_advanced
+                if self.intervals_advanced
+                else 0.0
+            ),
+            "resident_objects": float(len(self.clusters.copies)),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _push_event(
+        self, interval: int, kind: str, cluster_index: int, payload: object
+    ) -> None:
+        self._event_seq += 1
+        heapq.heappush(
+            self._events, (interval, self._event_seq, kind, cluster_index, payload)
+        )
+
+    def _retire_events(self, interval: int) -> List[Completion]:
+        completions: List[Completion] = []
+        while self._events and self._events[0][0] <= interval:
+            _t, _seq, kind, cluster_index, payload = heapq.heappop(self._events)
+            cluster = self.clusters.clusters[cluster_index]
+            cluster.finish()
+            if kind == "display":
+                request, deliver_start = payload  # type: ignore[misc]
+                self._unpin(request.object_id)
+                self.completed += 1
+                if self.event_log is not None:
+                    self.event_log.record(
+                        interval, "complete",
+                        object=request.object_id, cluster=cluster_index,
+                    )
+                completions.append(
+                    Completion(
+                        request=request,
+                        deliver_start=deliver_start,
+                        finished_at=interval,
+                    )
+                )
+            elif kind in ("clone", "materialize"):
+                object_id = payload  # type: ignore[assignment]
+                self.clusters.add_copy(object_id, cluster_index)
+                if kind == "materialize":
+                    self._mat_pending.discard(object_id)
+        return completions
+
+    def _unpin(self, object_id: int) -> None:
+        pins = self._pins.get(object_id, 0)
+        if pins <= 1:
+            self._pins.pop(object_id, None)
+        else:
+            self._pins[object_id] = pins - 1
+
+    def _queue_materialization(self, object_id: int, is_replica: bool = False) -> None:
+        if object_id not in self._mat_pending:
+            self._mat_pending.add(object_id)
+            self._mat_queue.append((object_id, is_replica))
+
+    def _drive_tertiary(self, interval: int) -> None:
+        if interval < self._tertiary_busy_until or not self._mat_queue:
+            return
+        object_id, is_replica = self._mat_queue[0]
+        if not is_replica and self.clusters.copy_count(object_id) > 0:
+            # Someone replicated it meanwhile; drop the materialisation.
+            self._mat_queue.popleft()
+            self._mat_pending.discard(object_id)
+            return
+        victim = self.replication.choose_victim(interval, protect_object=object_id)
+        if victim is None:
+            return  # retry next interval
+        self._mat_queue.popleft()
+        obj = self.catalog.get(object_id)
+        self.clusters.evict_all(victim.index)
+        service = self.tape_layout.service_time(obj, self.device)
+        duration = max(1, math.ceil(service / self.interval_length - 1e-9))
+        victim.occupy(interval, duration, "materialize", object_id)
+        self._tertiary_busy_until = interval + duration
+        if is_replica:
+            self.replication.replicas_created += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    interval, "replicate",
+                    object=object_id, cluster=victim.index, source="tertiary",
+                )
+        else:
+            self.materializations += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    interval, "materialize_start",
+                    object=object_id, cluster=victim.index,
+                )
+        self._push_event(interval + duration, "materialize", victim.index, object_id)
+
+    def _admission_pass(self, interval: int) -> None:
+        waiting_after: Dict[int, int] = {}
+        for request in self._queue:
+            waiting_after[request.object_id] = (
+                waiting_after.get(request.object_id, 0) + 1
+            )
+        still_waiting: List[Request] = []
+        for request in self._queue:
+            object_id = request.object_id
+            cluster = self.clusters.free_holder(object_id, interval)
+            if cluster is None:
+                if (
+                    self.clusters.copy_count(object_id) == 0
+                    and object_id not in self._mat_pending
+                ):
+                    self._queue_materialization(object_id)
+                still_waiting.append(request)
+                continue
+            obj = self.catalog.get(object_id)
+            n = obj.num_subobjects
+            cluster.occupy(interval, n, "display", object_id)
+            self.startup_latency.record(interval - request.issued_at)
+            if self.event_log is not None:
+                self.event_log.record(
+                    interval, "admit",
+                    object=object_id, cluster=cluster.index,
+                    latency=interval - request.issued_at,
+                )
+            self._push_event(
+                interval + n - 1, "display", cluster.index, (request, interval)
+            )
+            waiting_after[object_id] -= 1
+            self._maybe_replicate(object_id, waiting_after[object_id], interval, n)
+        self._queue = still_waiting
+
+    def _maybe_replicate(
+        self, object_id: int, still_waiting: int, interval: int, duration: int
+    ) -> None:
+        if still_waiting <= 0:
+            return
+        if not self.replication.should_replicate(object_id, still_waiting):
+            return
+        if self.replication_source == "tertiary":
+            # The replica queues on the tertiary device like any other
+            # materialisation; demand for hot objects serialises there.
+            self._queue_materialization(object_id, is_replica=True)
+            return
+        victim = self.replication.choose_victim(interval, protect_object=object_id)
+        if victim is None:
+            return
+        self.clusters.evict_all(victim.index)
+        victim.occupy(interval, duration, "clone", object_id)
+        self.replication.replicas_created += 1
+        if self.event_log is not None:
+            self.event_log.record(
+                interval, "replicate",
+                object=object_id, cluster=victim.index, source="stream",
+            )
+        self._push_event(interval + duration, "clone", victim.index, object_id)

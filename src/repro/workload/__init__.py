@@ -1,0 +1,22 @@
+"""Workload generation: display stations and access distributions.
+
+The paper's experiment (§4.1) drives the system with a *closed*
+workload: each display station issues one request, waits for the whole
+display, and immediately (zero think time) issues the next.  Object
+choice follows a truncated geometric distribution whose mean tunes the
+skew (10 = highly skewed … 43.5 = near uniform over the working set).
+"""
+
+from repro.workload.access import AccessDistribution, GeometricAccess, UniformAccess
+from repro.workload.stations import DisplayStation, StationPool
+from repro.workload.trace import RecordingAccess, TraceAccess
+
+__all__ = [
+    "AccessDistribution",
+    "DisplayStation",
+    "GeometricAccess",
+    "RecordingAccess",
+    "StationPool",
+    "TraceAccess",
+    "UniformAccess",
+]

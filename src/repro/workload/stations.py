@@ -1,0 +1,104 @@
+"""Display stations: the closed-loop request sources (§4.1).
+
+"We assumed a closed system where once a display station issues a
+request, it does not issue another until the first one is serviced.
+We also assume a zero think time between the requests."
+
+A station can also be configured with a non-zero think time (in
+intervals) for sensitivity experiments beyond the paper's worst-case
+setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.simulation.policy import Request
+from repro.workload.access import AccessDistribution
+
+
+@dataclass
+class DisplayStation:
+    """One station's closed-loop state."""
+
+    station_id: int
+    think_intervals: int = 0
+    outstanding: Optional[Request] = None
+    next_issue_at: int = 0  # earliest interval the next request may go out
+    requests_issued: int = 0
+    displays_completed: int = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is outstanding."""
+        return self.outstanding is not None
+
+
+class StationPool:
+    """All display stations plus the shared access distribution."""
+
+    def __init__(
+        self,
+        num_stations: int,
+        access: AccessDistribution,
+        think_intervals: int = 0,
+    ) -> None:
+        if num_stations < 1:
+            raise ConfigurationError(
+                f"num_stations must be >= 1, got {num_stations}"
+            )
+        if think_intervals < 0:
+            raise ConfigurationError(
+                f"think_intervals must be >= 0, got {think_intervals}"
+            )
+        self.access = access
+        self.stations: List[DisplayStation] = [
+            DisplayStation(station_id=i, think_intervals=think_intervals)
+            for i in range(num_stations)
+        ]
+        self._request_seq = 0
+
+    def __repr__(self) -> str:
+        busy = sum(1 for s in self.stations if s.busy)
+        return f"<StationPool {busy}/{len(self.stations)} busy>"
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def ready_requests(self, interval: int) -> List[Request]:
+        """Issue a request from every idle station whose think time has
+        elapsed."""
+        issued: List[Request] = []
+        for station in self.stations:
+            if station.busy or interval < station.next_issue_at:
+                continue
+            self._request_seq += 1
+            request = Request(
+                request_id=self._request_seq,
+                station_id=station.station_id,
+                object_id=self.access.sample(),
+                issued_at=interval,
+            )
+            station.outstanding = request
+            station.requests_issued += 1
+            issued.append(request)
+        return issued
+
+    def complete(self, request: Request, interval: int) -> None:
+        """A station's display finished; it thinks, then re-issues."""
+        station = self.stations[request.station_id]
+        if station.outstanding is None or (
+            station.outstanding.request_id != request.request_id
+        ):
+            raise ConfigurationError(
+                f"completion for {request} does not match station state"
+            )
+        station.outstanding = None
+        station.displays_completed += 1
+        station.next_issue_at = interval + 1 + station.think_intervals
+
+    def total_completed(self) -> int:
+        """Displays completed across all stations."""
+        return sum(s.displays_completed for s in self.stations)

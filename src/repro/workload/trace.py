@@ -1,0 +1,98 @@
+"""Recorded request traces: capture and replay object-choice streams.
+
+Two pieces:
+
+* :class:`RecordingAccess` — wraps any access distribution and records
+  the object ids it hands out;
+* :class:`TraceAccess` — replays a recorded (or hand-written) id
+  sequence, optionally cycling.
+
+A replayed trace gives two runs the *identical* request stream, which
+makes technique comparisons paired (same demand, different storage
+policy) instead of merely seeded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workload.access import AccessDistribution
+
+
+class RecordingAccess(AccessDistribution):
+    """Pass-through wrapper that records every sampled object id."""
+
+    def __init__(self, inner: AccessDistribution) -> None:
+        self.inner = inner
+        self.trace: List[int] = []
+
+    def __repr__(self) -> str:
+        return f"<RecordingAccess over {self.inner!r} recorded={len(self.trace)}>"
+
+    def sample(self) -> int:
+        """Draw from the wrapped distribution and remember the draw."""
+        object_id = self.inner.sample()
+        self.trace.append(object_id)
+        return object_id
+
+    def popularity_ranking(self) -> List[int]:
+        """Delegates to the wrapped distribution."""
+        return self.inner.popularity_ranking()
+
+
+class TraceAccess(AccessDistribution):
+    """Replays a fixed sequence of object ids.
+
+    Parameters
+    ----------
+    trace:
+        The object-id sequence to hand out in order.
+    cycle:
+        When True (default) the trace wraps around; when False an
+        exhausted trace raises, which bounds a replay run exactly.
+    """
+
+    def __init__(self, trace: Sequence[int], cycle: bool = True) -> None:
+        if not trace:
+            raise ConfigurationError("trace must be non-empty")
+        self.trace = list(trace)
+        self.cycle = cycle
+        self._cursor = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceAccess length={len(self.trace)} cursor={self._cursor} "
+            f"cycle={self.cycle}>"
+        )
+
+    @property
+    def remaining(self) -> int:
+        """Draws left before exhaustion (meaningless when cycling)."""
+        return max(0, len(self.trace) - self._cursor)
+
+    def sample(self) -> int:
+        """The next recorded object id."""
+        if self._cursor >= len(self.trace):
+            if not self.cycle:
+                raise ConfigurationError("trace exhausted (cycle=False)")
+            self._cursor = 0
+        object_id = self.trace[self._cursor]
+        self._cursor += 1
+        return object_id
+
+    def popularity_ranking(self) -> List[int]:
+        """Ids ranked by frequency within the trace (ties by first
+        appearance) — the preload order a replay should use."""
+        counts = {}
+        first_seen = {}
+        for position, object_id in enumerate(self.trace):
+            counts[object_id] = counts.get(object_id, 0) + 1
+            first_seen.setdefault(object_id, position)
+        return sorted(
+            counts, key=lambda oid: (-counts[oid], first_seen[oid])
+        )
+
+    def reset(self) -> None:
+        """Rewind to the start of the trace."""
+        self._cursor = 0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.disk import SABRE_DISK, TABLE3_DISK
+from repro.media.objects import MediaObject, MediaType
+from repro.sim.kernel import Simulation
+from repro.sim.rng import RandomStream
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulation kernel."""
+    return Simulation()
+
+
+@pytest.fixture
+def stream() -> RandomStream:
+    """A deterministic random stream."""
+    return RandomStream(seed=1234)
+
+
+@pytest.fixture
+def sabre():
+    """The §3.1 example drive."""
+    return SABRE_DISK
+
+
+@pytest.fixture
+def table3():
+    """The Table 3 simulation drive."""
+    return TABLE3_DISK
+
+
+def make_object(
+    object_id: int = 0,
+    bandwidth: float = 60.0,
+    num_subobjects: int = 6,
+    degree: int = 3,
+    fragment_size: float = 12.096,
+    name: str = "video",
+) -> MediaObject:
+    """A small media object for unit tests."""
+    return MediaObject(
+        object_id=object_id,
+        media_type=MediaType(name=name, display_bandwidth=bandwidth),
+        num_subobjects=num_subobjects,
+        degree=degree,
+        fragment_size=fragment_size,
+    )
+
+
+@pytest.fixture
+def small_object() -> MediaObject:
+    """6 subobjects, M=3."""
+    return make_object()

@@ -1,0 +1,98 @@
+"""Tests for rewind / fast-forward support (§3.2.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ff_rewind import (
+    DEFAULT_SCAN_RATE,
+    build_ff_replica,
+    normal_position,
+    plan_reposition,
+    replica_position,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_object
+
+
+class TestReplica:
+    def test_replica_is_one_sixteenth(self):
+        obj = make_object(num_subobjects=3200, degree=5)
+        replica = build_ff_replica(obj, replica_id=9000)
+        assert replica.num_subobjects == 200
+        assert replica.size == pytest.approx(obj.size / DEFAULT_SCAN_RATE)
+
+    def test_replica_keeps_bandwidth_and_degree(self):
+        obj = make_object(bandwidth=100.0, degree=5)
+        replica = build_ff_replica(obj, replica_id=1)
+        assert replica.display_bandwidth == 100.0
+        assert replica.degree == 5
+
+    def test_replica_covers_object_16x_faster(self):
+        obj = make_object(num_subobjects=3200, degree=5)
+        replica = build_ff_replica(obj, replica_id=1)
+        assert obj.display_time / replica.display_time == pytest.approx(16.0)
+
+    def test_custom_scan_rate(self):
+        obj = make_object(num_subobjects=100)
+        replica = build_ff_replica(obj, replica_id=1, scan_rate=4)
+        assert replica.num_subobjects == 25
+
+    def test_scan_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_ff_replica(make_object(), replica_id=1, scan_rate=1)
+
+
+class TestPositionMapping:
+    def test_roundtrip_is_close(self):
+        obj = make_object(num_subobjects=160)
+        replica = build_ff_replica(obj, replica_id=1)
+        for position in (0, 37, 80, 159):
+            r = replica_position(obj, replica, position)
+            back = normal_position(obj, replica, r)
+            assert abs(back - position) < DEFAULT_SCAN_RATE
+
+    def test_bounds_checked(self):
+        obj = make_object(num_subobjects=16)
+        replica = build_ff_replica(obj, replica_id=1)
+        with pytest.raises(ConfigurationError):
+            replica_position(obj, replica, 16)
+        with pytest.raises(ConfigurationError):
+            normal_position(obj, replica, replica.num_subobjects)
+
+
+class TestReposition:
+    def test_fast_forward_rotation_wait(self):
+        obj = make_object(num_subobjects=20, degree=2)
+        plan = plan_reposition(
+            obj, start_disk=0, num_disks=10, stride=1,
+            current_subobject=2, target_subobject=7,
+        )
+        assert plan.target_subobject == 7
+        assert plan.target_start_disk == 7
+        assert plan.rotation_wait == 5
+
+    def test_rewind_wraps_the_rotation(self):
+        obj = make_object(num_subobjects=20, degree=2)
+        plan = plan_reposition(
+            obj, start_disk=0, num_disks=10, stride=1,
+            current_subobject=7, target_subobject=2,
+        )
+        # Rewinding 5 subobjects waits for the frame to come around.
+        assert plan.rotation_wait == 5  # (2 - 7) mod 10
+
+    def test_stride_m_period_is_r(self):
+        obj = make_object(num_subobjects=30, degree=3)
+        plan = plan_reposition(
+            obj, start_disk=0, num_disks=9, stride=3,
+            current_subobject=0, target_subobject=10,
+        )
+        # Period D/gcd = 3 clusters; 10 mod 3 = 1 interval.
+        assert plan.rotation_wait == 1
+
+    def test_bounds(self):
+        obj = make_object(num_subobjects=5)
+        with pytest.raises(ConfigurationError):
+            plan_reposition(obj, 0, 10, 1, 0, 5)
+        with pytest.raises(ConfigurationError):
+            plan_reposition(obj, 0, 10, 1, 5, 0)

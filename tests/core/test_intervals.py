@@ -1,0 +1,58 @@
+"""Tests for the interval clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import IntervalClock
+from repro.errors import ConfigurationError
+
+
+def test_for_disk_uses_service_time(table3):
+    clock = IntervalClock.for_disk(table3, fragment_cylinders=1)
+    assert clock.interval_length == pytest.approx(0.6048)
+
+
+def test_for_effective_bandwidth_identity(table3):
+    clock = IntervalClock.for_effective_bandwidth(
+        fragment_size=table3.cylinder_capacity, effective_bandwidth=20.0
+    )
+    assert clock.interval_length == pytest.approx(0.6048)
+
+
+def test_time_interval_roundtrip():
+    clock = IntervalClock(0.5)
+    assert clock.time_of(4) == pytest.approx(2.0)
+    assert clock.interval_of(2.0) == 4
+    assert clock.interval_of(2.49) == 4
+    assert clock.interval_of(2.5) == 5
+
+
+def test_intervals_for_duration_rounds_up():
+    clock = IntervalClock(0.5)
+    assert clock.intervals_for(1.0) == 2
+    assert clock.intervals_for(1.01) == 3
+    assert clock.intervals_for(0.0) == 0
+
+
+def test_display_intervals_is_subobject_count():
+    clock = IntervalClock(0.6048)
+    assert clock.display_intervals(3000) == 3000
+
+
+def test_paper_display_duration():
+    """3000 intervals of 0.6048s = 1814.4 s (paper: 30 min 14 s)."""
+    clock = IntervalClock(0.6048)
+    assert clock.time_of(clock.display_intervals(3000)) == pytest.approx(1814.4)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        IntervalClock(0.0)
+    clock = IntervalClock(1.0)
+    with pytest.raises(ConfigurationError):
+        clock.interval_of(-1.0)
+    with pytest.raises(ConfigurationError):
+        clock.intervals_for(-1.0)
+    with pytest.raises(ConfigurationError):
+        clock.display_intervals(0)

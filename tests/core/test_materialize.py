@@ -1,0 +1,104 @@
+"""Tests for disk-side materialisation jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.materialize import (
+    MaterializationJob,
+    disk_side_intervals,
+    job_duration_intervals,
+    writer_passes,
+)
+from repro.core.virtual_disks import SlotPool
+from repro.errors import ConfigurationError
+from repro.media.tape_layout import TapeLayout, TapeOrder
+from tests.conftest import make_object
+
+
+class TestPassArithmetic:
+    def test_paper_m4_w2_is_two_passes(self):
+        assert writer_passes(4, 2) == 2
+
+    def test_table3_m5_w2_is_three_passes(self):
+        assert writer_passes(5, 2) == 3
+
+    def test_disk_side_intervals(self):
+        obj = make_object(num_subobjects=3000, degree=5)
+        assert disk_side_intervals(obj, 2) == 9000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            writer_passes(0, 2)
+
+
+class TestDuration:
+    def test_disk_side_dominates_fragment_ordered(self):
+        obj = make_object(num_subobjects=100, degree=5, fragment_size=12.096)
+        # Tape side: size/40 + reposition ~ 151.7s / 0.6048 ~ 251 ivs.
+        duration = job_duration_intervals(
+            obj,
+            write_degree=2,
+            tape_layout=TapeLayout(TapeOrder.FRAGMENT_ORDERED),
+            tertiary_service_time=obj.size / 40.0 + 5.0,
+            interval_length=0.6048,
+        )
+        assert duration == disk_side_intervals(obj, 2)
+
+    def test_tape_side_dominates_sequential(self):
+        obj = make_object(num_subobjects=100, degree=2, fragment_size=12.096)
+        slow_service = 100 * 5.0 + obj.size / 40.0
+        duration = job_duration_intervals(
+            obj,
+            write_degree=2,
+            tape_layout=TapeLayout(TapeOrder.SEQUENTIAL),
+            tertiary_service_time=slow_service,
+            interval_length=0.6048,
+        )
+        assert duration > disk_side_intervals(obj, 2)
+
+
+class TestJobLifecycle:
+    def test_lanes_claim_lazily_and_release(self):
+        pool = SlotPool(num_disks=10, stride=1)
+        obj = make_object(num_subobjects=5, degree=4)
+        job = MaterializationJob(
+            job_id="m1", obj=obj, start_disk=3, write_degree=2,
+            duration_intervals=10,
+        )
+        assert job.try_claim(pool, 0)
+        assert job.fully_laned
+        assert job.started_at == 0
+        assert job.finish_interval == 9
+        assert len(pool.slots_of("m1")) == 2
+        job.release(pool)
+        assert pool.free_count == 10
+
+    def test_partial_claim_when_target_busy(self):
+        pool = SlotPool(num_disks=10, stride=1)
+        pool.claim(pool.slot_at(3, 0), "other")
+        obj = make_object(num_subobjects=5, degree=4)
+        job = MaterializationJob(
+            job_id="m1", obj=obj, start_disk=3, write_degree=2,
+            duration_intervals=10,
+        )
+        assert not job.try_claim(pool, 0)
+        assert not job.fully_laned
+        # Next interval a fresh slot rotates over drive 3.
+        assert job.try_claim(pool, 1)
+        assert job.started_at == 1
+
+    def test_write_degree_capped_by_object_degree(self):
+        obj = make_object(degree=1)
+        job = MaterializationJob(
+            job_id="m", obj=obj, start_disk=0, write_degree=4,
+            duration_intervals=5,
+        )
+        assert len(job.lanes) == 1
+
+    def test_validation(self):
+        obj = make_object()
+        with pytest.raises(ConfigurationError):
+            MaterializationJob("m", obj, 0, write_degree=0, duration_intervals=5)
+        with pytest.raises(ConfigurationError):
+            MaterializationJob("m", obj, 0, write_degree=2, duration_intervals=0)

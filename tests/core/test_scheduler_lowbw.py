@@ -1,0 +1,148 @@
+"""Tests for the scheduler's low-bandwidth (half-slot) mode (§3.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import AdmissionMode
+from repro.core.disk_manager import DiskManager
+from repro.core.object_manager import ObjectManager
+from repro.core.scheduler import StaggeredStripingPolicy
+from repro.errors import ConfigurationError
+from repro.hardware.disk import TABLE3_DISK
+from repro.hardware.disk_array import DiskArray
+from repro.media.catalog import Catalog
+from repro.simulation.policy import Request
+from tests.conftest import make_object
+
+
+def build_policy(objects, num_disks=4, stride=1):
+    catalog = Catalog(objects)
+    array = DiskArray(model=TABLE3_DISK, num_disks=num_disks)
+    disk_manager = DiskManager(array=array, stride=stride)
+    object_manager = ObjectManager(catalog, capacity=catalog.total_size)
+    return StaggeredStripingPolicy(
+        catalog=catalog,
+        disk_manager=disk_manager,
+        object_manager=object_manager,
+        tertiary_manager=None,
+        admission_mode=AdmissionMode.FRAGMENTED,
+        half_slot_objects=True,
+        disk_bandwidth=20.0,
+    )
+
+
+def submit(policy, request_id, object_id, interval=0):
+    policy.submit(
+        Request(request_id=request_id, station_id=request_id,
+                object_id=object_id, issued_at=interval),
+        interval=interval,
+    )
+
+
+def run_until(policy, count, horizon=200):
+    completions = []
+    for interval in range(horizon):
+        completions.extend(policy.advance(interval))
+        if len(completions) >= count:
+            break
+    return completions
+
+
+class TestHalfSlotSharing:
+    def test_two_half_bandwidth_displays_share_one_drive(self):
+        """Figure 7's scenario: X and Y at B_disk/2 each run on the
+        same drive in the same intervals."""
+        x = make_object(0, bandwidth=10.0, num_subobjects=6, degree=1)
+        y = make_object(1, bandwidth=10.0, num_subobjects=6, degree=1)
+        policy = build_policy([x, y], num_disks=2)
+        # Both on drive 0.
+        policy.disk_manager.place_object(x, start_disk=0)
+        policy.disk_manager.place_object(y, start_disk=0)
+        policy.object_manager.add_resident(0)
+        policy.object_manager.add_resident(1)
+        submit(policy, 1, 0)
+        submit(policy, 2, 1)
+        policy.advance(0)
+        displays = list(policy._active.values())
+        assert len(displays) == 2
+        # Same virtual disk, one half each.
+        slots = {d.lanes[0].slot for d in displays}
+        assert len(slots) == 1
+        owners = policy.disk_manager.pool.owners_of(slots.pop())
+        assert sorted(owners.values()) == [1, 1]
+        completions = run_until(policy, 2)
+        assert {c.finished_at for c in completions} == {5}
+
+    def test_three_halves_object_uses_one_and_a_half_drives(self):
+        """B = 3/2 B_disk fits in 3 half-slots (the paper's exact-fit
+        example)."""
+        obj = make_object(0, bandwidth=30.0, num_subobjects=4, degree=2)
+        policy = build_policy([obj], num_disks=4)
+        policy.preload([0])
+        submit(policy, 1, 0)
+        policy.advance(0)
+        display = next(iter(policy._active.values()))
+        assert display.degree_halves == 3
+        assert display.lane_halves() == [2, 1]
+        # The second drive has a spare half for another low-bw display.
+        spare_slot = display.lanes[1].slot
+        assert policy.disk_manager.pool.free_halves(spare_slot) == 1
+        completions = run_until(policy, 1)
+        assert completions[0].finished_at == 3
+
+    def test_exact_fit_pairing_on_shared_drive(self):
+        """A 30 mbps display's half-drive pairs with a 10 mbps one."""
+        big = make_object(0, bandwidth=30.0, num_subobjects=6, degree=2)
+        small = make_object(1, bandwidth=10.0, num_subobjects=6, degree=1)
+        policy = build_policy([big, small], num_disks=4)
+        policy.disk_manager.place_object(big, start_disk=0)
+        policy.disk_manager.place_object(small, start_disk=1)
+        policy.object_manager.add_resident(0)
+        policy.object_manager.add_resident(1)
+        submit(policy, 1, 0)
+        submit(policy, 2, 1)
+        policy.advance(0)
+        displays = {d.obj.object_id: d for d in policy._active.values()}
+        assert displays[0].lanes[1].slot == displays[1].lanes[0].slot
+        completions = run_until(policy, 2)
+        assert len(completions) == 2
+
+    def test_full_bandwidth_objects_unaffected(self):
+        obj = make_object(0, bandwidth=100.0, num_subobjects=4, degree=5)
+        policy = build_policy([obj], num_disks=6)
+        policy.preload([0])
+        submit(policy, 1, 0)
+        policy.advance(0)
+        display = next(iter(policy._active.values()))
+        assert display.degree_halves is None
+        assert display.lane_halves() == [2] * 5
+
+    def test_half_slots_all_released(self):
+        x = make_object(0, bandwidth=10.0, num_subobjects=4, degree=1)
+        y = make_object(1, bandwidth=10.0, num_subobjects=4, degree=1)
+        policy = build_policy([x, y], num_disks=2)
+        policy.disk_manager.place_object(x, start_disk=0)
+        policy.disk_manager.place_object(y, start_disk=0)
+        policy.object_manager.add_resident(0)
+        policy.object_manager.add_resident(1)
+        submit(policy, 1, 0)
+        submit(policy, 2, 1)
+        run_until(policy, 2)
+        for _ in range(3):
+            policy.advance(100)
+        pool = policy.disk_manager.pool
+        assert all(pool.free_halves(z) == 2 for z in range(2))
+
+
+def test_half_slot_mode_requires_disk_bandwidth():
+    obj = make_object(0)
+    catalog = Catalog([obj])
+    array = DiskArray(model=TABLE3_DISK, num_disks=4)
+    with pytest.raises(ConfigurationError):
+        StaggeredStripingPolicy(
+            catalog=catalog,
+            disk_manager=DiskManager(array=array, stride=1),
+            object_manager=ObjectManager(catalog, capacity=obj.size),
+            half_slot_objects=True,
+        )

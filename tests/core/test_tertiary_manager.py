@@ -1,0 +1,88 @@
+"""Tests for the Tertiary Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tertiary_manager import TertiaryManager
+from repro.core.virtual_disks import SlotPool
+from repro.hardware.tertiary import TertiaryDevice
+from repro.media.tape_layout import TapeLayout, TapeOrder
+from tests.conftest import make_object
+
+
+@pytest.fixture
+def pool():
+    return SlotPool(num_disks=10, stride=1)
+
+
+@pytest.fixture
+def manager():
+    device = TertiaryDevice(bandwidth=40.0, reposition_time=0.6048)
+    return TertiaryManager(
+        device=device,
+        tape_layout=TapeLayout(TapeOrder.FRAGMENT_ORDERED),
+        interval_length=0.6048,
+        disk_bandwidth=20.0,
+    )
+
+
+def drive_until_done(manager, pool, start_disks, limit=20000):
+    """Advance until a completion; returns (interval, finished_ids)."""
+    for interval in range(limit):
+        finished = manager.advance(interval, pool, start_disks.get)
+        if finished:
+            return interval, finished
+    raise AssertionError("no completion within limit")
+
+
+class TestQueueing:
+    def test_write_degree_derived(self, manager):
+        assert manager.write_degree == 2
+
+    def test_request_dedupes(self, manager):
+        obj = make_object(0, num_subobjects=4, degree=2)
+        assert manager.request(obj, 0)
+        assert not manager.request(obj, 0)
+        assert manager.queue_length == 1
+
+    def test_materialisation_completes_and_frees_slots(self, manager, pool):
+        obj = make_object(0, num_subobjects=4, degree=2)
+        manager.request(obj, 0)
+        interval, finished = drive_until_done(manager, pool, {0: 0})
+        assert finished == [0]
+        assert manager.completed == 1
+        assert pool.free_count == 10
+        assert not manager.is_pending(0)
+        # Disk-side: ceil(2/2) pass x 4 subobjects = 4 intervals.
+        assert interval == pytest.approx(4, abs=1)
+
+    def test_fifo_across_objects(self, manager, pool):
+        a = make_object(0, num_subobjects=3, degree=2)
+        b = make_object(1, num_subobjects=3, degree=2)
+        manager.request(a, 0)
+        manager.request(b, 0)
+        starts = {0: 0, 1: 5}
+        _, first = drive_until_done(manager, pool, starts)
+        assert first == [0]
+        _, second = drive_until_done(manager, pool, starts)
+        assert second == [1]
+
+    def test_busy_flag_and_utilization(self, manager, pool):
+        obj = make_object(0, num_subobjects=4, degree=2)
+        manager.request(obj, 0)
+        manager.advance(0, pool, {0: 0}.get)
+        assert manager.busy
+        drive_until_done(manager, pool, {0: 0})
+        assert not manager.busy
+        assert 0.0 < manager.utilization(10) <= 1.0
+
+    def test_queueing_delay_recorded(self, manager, pool):
+        a = make_object(0, num_subobjects=3, degree=2)
+        b = make_object(1, num_subobjects=3, degree=2)
+        manager.request(a, 0)
+        manager.request(b, 0)
+        starts = {0: 0, 1: 5}
+        drive_until_done(manager, pool, starts)
+        drive_until_done(manager, pool, starts)
+        assert manager.queueing_delay_intervals.maximum > 0

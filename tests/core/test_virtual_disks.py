@@ -1,0 +1,151 @@
+"""Tests for virtual disks and the slot pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.virtual_disks import (
+    SlotPool,
+    first_arrival,
+    physical_disk_of_slot,
+    slot_at_physical,
+)
+from repro.errors import ConfigurationError, SchedulingError
+
+
+class TestGeometry:
+    def test_physical_shifts_right_by_stride(self):
+        assert physical_disk_of_slot(0, 0, 1, 8) == 0
+        assert physical_disk_of_slot(0, 1, 1, 8) == 1
+        assert physical_disk_of_slot(0, 3, 2, 8) == 6
+        assert physical_disk_of_slot(6, 2, 1, 8) == 0  # the Fig. 6 slot
+
+    def test_slot_at_is_inverse_of_physical(self):
+        for d in range(12):
+            for t in range(25):
+                slot = slot_at_physical(d, t, 3, 12)
+                assert physical_disk_of_slot(slot, t, 3, 12) == d
+
+    def test_virtual_disk_reads_consecutive_subobjects(self):
+        """§3.2.1: the virtual disk reading the first fragment of a
+        subobject at interval t reads the first fragment of the next
+        subobject at t+1 (fragments are k apart)."""
+        stride, d = 3, 12
+        start = 4
+        for i in range(10):
+            fragment_disk = (start + i * stride) % d
+            slot = slot_at_physical(fragment_disk, i, stride, d)
+            assert slot == slot_at_physical(start, 0, stride, d)
+
+
+class TestFirstArrival:
+    def test_stride_one_simple_difference(self):
+        assert first_arrival(6, 0, 1, 8, 0) == 2  # Fig. 6: slot 6 -> drive 0
+        assert first_arrival(1, 1, 1, 8, 0) == 0
+
+    def test_not_before_pushes_to_next_cycle(self):
+        assert first_arrival(1, 1, 1, 8, 1) == 8
+
+    def test_unreachable_with_composite_gcd(self):
+        # k=5, D=1000: slot 0 only visits multiples of 5.
+        assert first_arrival(0, 3, 5, 1000, 0) is None
+        assert first_arrival(0, 10, 5, 1000, 0) == 2
+
+    def test_coprime_stride_reaches_everything(self):
+        for target in range(9):
+            arrival = first_arrival(0, target, 2, 9, 0)
+            assert arrival is not None
+            assert (0 + 2 * arrival) % 9 == target
+
+
+class TestSlotPoolOwnership:
+    @pytest.fixture
+    def pool(self):
+        return SlotPool(num_disks=8, stride=1)
+
+    def test_claim_and_release(self, pool):
+        pool.claim(3, "d1")
+        assert pool.owners_of(3) == {"d1": 2}
+        assert not pool.is_free(3)
+        assert pool.release(3, "d1") == 2
+        assert pool.is_free(3)
+
+    def test_double_claim_rejected(self, pool):
+        pool.claim(3, "d1")
+        with pytest.raises(SchedulingError):
+            pool.claim(3, "d2")
+
+    def test_half_claims_coexist(self, pool):
+        pool.claim(3, "a", halves=1)
+        pool.claim(3, "b", halves=1)
+        assert pool.free_halves(3) == 0
+        with pytest.raises(SchedulingError):
+            pool.claim(3, "c", halves=1)
+
+    def test_is_free_with_halves(self, pool):
+        pool.claim(3, "a", halves=1)
+        assert pool.is_free(3, halves=1)
+        assert not pool.is_free(3, halves=2)
+
+    def test_release_wrong_owner_rejected(self, pool):
+        pool.claim(3, "a")
+        with pytest.raises(SchedulingError):
+            pool.release(3, "b")
+
+    def test_release_all(self, pool):
+        pool.claim(1, "a")
+        pool.claim(5, "a", halves=1)
+        pool.claim(5, "b", halves=1)
+        assert pool.release_all("a") == 2
+        assert pool.is_free(1)
+        assert pool.free_halves(5) == 1
+
+    def test_counts(self, pool):
+        assert pool.free_count == 8
+        pool.claim(0, "a")
+        pool.claim(1, "b", halves=1)
+        assert pool.busy_count == 2
+        assert pool.free_count == 6
+        assert pool.slots_of("a") == [0]
+
+    def test_invalid_halves(self, pool):
+        with pytest.raises(SchedulingError):
+            pool.claim(0, "a", halves=0)
+        with pytest.raises(SchedulingError):
+            pool.claim(0, "a", halves=3)
+
+
+class TestFreeRuns:
+    def test_empty_pool_is_one_run(self):
+        pool = SlotPool(num_disks=8, stride=1)
+        assert pool.free_runs() == [(0, 8)]
+        assert pool.longest_free_run() == 8
+
+    def test_full_pool_has_no_runs(self):
+        pool = SlotPool(num_disks=4, stride=1)
+        for z in range(4):
+            pool.claim(z, f"d{z}")
+        assert pool.free_runs() == []
+        assert pool.longest_free_run() == 0
+
+    def test_circular_run_detected(self):
+        pool = SlotPool(num_disks=8, stride=1)
+        pool.claim(3, "a")
+        pool.claim(4, "b")
+        runs = dict(pool.free_runs())
+        # Free: 5,6,7,0,1,2 as one circular run of 6.
+        assert runs == {5: 6}
+
+    def test_figure6_pattern(self):
+        """Fig. 6: free slots at 1 and 6, two intervening busy pairs."""
+        pool = SlotPool(num_disks=8, stride=1)
+        for z in (0, 7, 2, 3, 4, 5):
+            pool.claim(z, f"other{z}")
+        runs = sorted(pool.free_runs())
+        assert runs == [(1, 1), (6, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlotPool(num_disks=0, stride=1)
+        with pytest.raises(ConfigurationError):
+            SlotPool(num_disks=8, stride=0)

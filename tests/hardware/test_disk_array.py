@@ -1,0 +1,108 @@
+"""Tests for the disk array: storage accounting and interval claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.hardware.disk import TABLE3_DISK
+from repro.hardware.disk_array import DiskArray, SLOTS_PER_DISK
+
+
+@pytest.fixture
+def array():
+    return DiskArray(model=TABLE3_DISK, num_disks=6)
+
+
+class TestStorage:
+    def test_total_capacity(self, array):
+        assert array.total_capacity == pytest.approx(6 * TABLE3_DISK.capacity)
+
+    def test_store_and_evict_roundtrip(self, array):
+        array.store(2, 100.0)
+        assert array.used_cylinders(2) == 100.0
+        array.evict(2, 60.0)
+        assert array.used_cylinders(2) == pytest.approx(40.0)
+        assert array.free_cylinders(2) == pytest.approx(
+            TABLE3_DISK.num_cylinders - 40.0
+        )
+
+    def test_overflow_rejected(self, array):
+        with pytest.raises(CapacityError):
+            array.store(0, TABLE3_DISK.num_cylinders + 1)
+
+    def test_underflow_rejected(self, array):
+        array.store(0, 5.0)
+        with pytest.raises(CapacityError):
+            array.evict(0, 6.0)
+
+    def test_storage_skew(self, array):
+        array.store(0, 10.0)
+        array.store(1, 30.0)
+        low, high = array.storage_skew()
+        assert low == 0.0
+        assert high == 30.0
+
+
+class TestIntervalClaims:
+    def test_full_claim_marks_disk_busy(self, array):
+        array.begin_interval()
+        array.claim(3, owner="d1")
+        assert not array.is_idle(3)
+        assert array.free_slots(3) == 0
+
+    def test_half_claims_share_a_disk(self, array):
+        array.begin_interval()
+        array.claim(1, owner="a", slots=1)
+        array.claim(1, owner="b", slots=1)
+        assert array.free_slots(1) == 0
+
+    def test_oversubscription_raises(self, array):
+        array.begin_interval()
+        array.claim(0, owner="a")
+        with pytest.raises(SchedulingError):
+            array.claim(0, owner="b", slots=1)
+
+    def test_invalid_slot_count_raises(self, array):
+        array.begin_interval()
+        with pytest.raises(SchedulingError):
+            array.claim(0, owner="a", slots=3)
+
+    def test_begin_interval_clears_claims(self, array):
+        array.begin_interval()
+        array.claim(0, owner="a")
+        array.begin_interval()
+        assert array.is_idle(0)
+        array.claim(0, owner="b")  # no conflict with the stale claim
+
+    def test_release_frees_slots_within_interval(self, array):
+        array.begin_interval()
+        array.claim(0, owner="a")
+        array.release(0, owner="a")
+        array.claim(0, owner="b")
+
+    def test_idle_and_busy_lists(self, array):
+        array.begin_interval()
+        array.claim(0, owner="a")
+        array.claim(4, owner="b", slots=1)
+        assert array.busy_disks() == [0, 4]
+        assert 0 not in array.idle_disks()
+        assert 1 in array.idle_disks()
+
+
+class TestUtilization:
+    def test_zero_before_any_interval(self, array):
+        assert array.utilization() == 0.0
+
+    def test_counts_claimed_slot_fraction(self, array):
+        array.begin_interval()
+        for disk in range(3):
+            array.claim(disk, owner=f"d{disk}")  # 6 of 12 half-slots
+        array.begin_interval()  # closes the first interval
+        # 6 of 24 half-slot-intervals claimed across the two intervals.
+        assert array.utilization() == pytest.approx(0.25)
+
+
+def test_rejects_empty_array():
+    with pytest.raises(ConfigurationError):
+        DiskArray(model=TABLE3_DISK, num_disks=0)

@@ -1,0 +1,53 @@
+"""Tests for network demand accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.network import NetworkModel
+
+
+def test_transmit_accumulates_per_node():
+    net = NetworkModel(num_nodes=3)
+    net.begin_interval()
+    net.transmit(0, 20.0)
+    net.transmit(0, 20.0)  # buffered + pipelined fragment
+    assert net.node_demand(0) == pytest.approx(40.0)
+    assert net.peak_node_demand == pytest.approx(40.0)
+
+
+def test_aggregate_peak_across_intervals():
+    net = NetworkModel(num_nodes=2)
+    net.begin_interval()
+    net.transmit(0, 20.0)
+    net.transmit(1, 20.0)
+    net.begin_interval()
+    net.transmit(0, 10.0)
+    net.begin_interval()
+    assert net.peak_aggregate_demand == pytest.approx(40.0)
+    assert net.mean_aggregate_demand() == pytest.approx((40.0 + 10.0) / 2)
+
+
+def test_overcommit_detection():
+    net = NetworkModel(num_nodes=1, node_capacity=25.0)
+    net.begin_interval()
+    net.transmit(0, 40.0)
+    net.begin_interval()
+    assert net.overcommitted_intervals == 1
+    report = net.report()
+    assert report["overcommitted_intervals"] == 1.0
+
+
+def test_negative_rate_rejected():
+    net = NetworkModel(num_nodes=1)
+    net.begin_interval()
+    with pytest.raises(ConfigurationError):
+        net.transmit(0, -1.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkModel(num_nodes=0)
+    with pytest.raises(ConfigurationError):
+        NetworkModel(num_nodes=1, node_capacity=0.0)

@@ -1,0 +1,169 @@
+"""Tests for the experiment scripts (figures/tables reproduce in shape).
+
+These run the *scaled* configuration at reduced windows, asserting the
+qualitative results the paper reports; the full-scale runs live in
+``examples/paper_figure8.py`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure8 import (
+    base_config,
+    run_point,
+    scaled_means,
+    scaled_stations,
+)
+from repro.experiments.layouts import (
+    figure1_grid,
+    figure3_schedule,
+    figure4_grid,
+    figure5_grid,
+    grid_to_text,
+)
+from repro.experiments.section31 import fragment_size_tradeoff, sabre_numbers
+from repro.experiments.stride import (
+    k_extremes_analysis,
+    rounding_waste_rows,
+    stride_sweep,
+)
+from repro.experiments.table4 import run_table4, scaled_table4_stations
+from repro.experiments.tertiary import layout_cost_rows, simulated_comparison
+from repro.simulation.config import ScaledConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    """A fast scaled config shared by the simulation-backed tests."""
+    return ScaledConfig(scale=10, warmup_intervals=300, measure_intervals=1500)
+
+
+class TestLayoutFigures:
+    def test_figure1_rows(self):
+        grid = figure1_grid(4)
+        assert grid[0][:3] == ["X0.0", "X0.1", "X0.2"]
+        assert grid[1][3:6] == ["X1.0", "X1.1", "X1.2"]
+        assert grid[3][:3] == ["X3.0", "X3.1", "X3.2"]  # wrapped
+
+    def test_figure4_shifts_by_one(self):
+        grid = figure4_grid(8)
+        for i in range(7):
+            first = grid[i].index(f"X{i}.0")
+            assert grid[i + 1].index(f"X{i + 1}.0") == (first + 1) % 8
+
+    def test_figure5_matches_paper_rows(self):
+        grid = figure5_grid(13)
+        assert grid[0][0] == "Y0.0"
+        assert grid[0][4] == "X0.0"
+        assert grid[0][7] == "Z0.0"
+        assert grid[12][0] == "Y12.0"  # full wrap after 12 rows
+
+    def test_figure3_idle_rotates(self):
+        rows = figure3_schedule()
+        # Paper: cluster 0 idle at intervals 3 and 6; cluster 1 at 4;
+        # cluster 2 at 5 (after X, the 3-subobject object, completes).
+        assert rows[3]["cluster 0"] == "idle"
+        assert rows[4]["cluster 1"] == "idle"
+        assert rows[5]["cluster 2"] == "idle"
+        assert rows[6]["cluster 0"] == "idle"
+        assert rows[2]["cluster 2"] == "read X(2)"
+
+    def test_grid_to_text_renders(self):
+        text = grid_to_text(figure1_grid(2))
+        assert "X0.0" in text and "subobject" in text
+
+
+class TestSection31:
+    def test_headline_numbers(self):
+        numbers = sabre_numbers()
+        assert numbers["service_1cyl_ms"] == pytest.approx(301.85, abs=0.1)
+        assert numbers["service_2cyl_ms"] == pytest.approx(555.87, abs=0.1)
+        assert numbers["waste_1cyl_pct"] == pytest.approx(17.2, abs=0.1)
+        assert numbers["waste_2cyl_pct"] == pytest.approx(10.0, abs=0.1)
+        assert numbers["delay_90disks_1cyl_s"] == pytest.approx(8.75, abs=0.05)
+        assert numbers["delay_90disks_2cyl_s"] == pytest.approx(16.12, abs=0.05)
+
+    def test_tradeoff_rows_show_both_trends(self):
+        rows = fragment_size_tradeoff(max_cylinders=4)
+        bandwidths = [r["effective_bandwidth_mbps"] for r in rows]
+        delays = [r["worst_delay_90disks_s"] for r in rows]
+        assert bandwidths == sorted(bandwidths)
+        assert delays == sorted(delays)
+
+
+class TestStrideExperiments:
+    def test_rounding_waste_examples(self):
+        rows = {r["display_mbps"]: r for r in rounding_waste_rows()}
+        assert rows[30.0]["whole_disk_waste_pct"] == pytest.approx(25.0)
+        assert rows[30.0]["half_disk_waste_pct"] == pytest.approx(0.0)
+
+    def test_k_extremes(self):
+        analysis = k_extremes_analysis()
+        assert analysis["kD_blocking_s"] > analysis["k1_worst_wait_s"]
+        assert analysis["k1_worst_wait_s"] > analysis["kM_worst_wait_s"]
+
+    def test_stride_sweep_runs(self, quick_config):
+        rows = stride_sweep(
+            strides=[1, 5], config=quick_config, num_stations=10,
+            access_mean=1.0,
+        )
+        assert [r["stride"] for r in rows] == [1, 5]
+        for row in rows:
+            assert row["displays_per_hour"] > 0
+        by_k = {r["stride"]: r for r in rows}
+        assert by_k[1]["skew_free"]
+        assert not by_k[5]["skew_free"]
+
+
+class TestTertiaryExperiments:
+    def test_layout_cost_rows(self):
+        rows = {r["tape_order"]: r for r in layout_cost_rows()}
+        assert rows["sequential"]["wasted_pct"] > 50.0
+        assert rows["fragment_ordered"]["wasted_pct"] < 1.0
+        assert (
+            rows["fragment_ordered"]["effective_mbps"]
+            > rows["sequential"]["effective_mbps"]
+        )
+
+    def test_simulated_comparison_shape(self, quick_config):
+        rows = {r["tape_order"]: r
+                for r in simulated_comparison(config=quick_config,
+                                              num_stations=6)}
+        # Sequential recordings cripple the tertiary-bound workload.
+        assert (
+            rows["fragment_ordered"]["displays_per_hour"]
+            >= rows["sequential"]["displays_per_hour"]
+        )
+
+
+class TestFigure8AndTable4Shape:
+    def test_scaled_axes(self):
+        assert scaled_stations(10) == [1, 3, 6, 12, 25]
+        assert scaled_means(10) == [1.0, 2.0, 4.35]
+        assert scaled_table4_stations(10) == [1, 6, 12, 25]
+
+    def test_striping_beats_vdr_at_high_load(self, quick_config):
+        striping = run_point(quick_config, "simple", 1.0, 25)
+        vdr = run_point(quick_config, "vdr", 1.0, 25)
+        assert striping.throughput_per_hour > vdr.throughput_per_hour
+
+    def test_throughput_grows_with_stations(self, quick_config):
+        low = run_point(quick_config, "simple", 1.0, 2)
+        high = run_point(quick_config, "simple", 1.0, 20)
+        assert high.throughput_per_hour > low.throughput_per_hour
+
+    def test_uniform_access_engages_tertiary(self, quick_config):
+        skewed = run_point(quick_config, "simple", 1.0, 12)
+        uniform = run_point(quick_config, "simple", 4.35, 12)
+        assert uniform.tertiary_utilization > skewed.tertiary_utilization
+        assert uniform.hit_rate < skewed.hit_rate + 1e-9
+        assert uniform.throughput_per_hour < skewed.throughput_per_hour
+
+    def test_table4_improvements_positive_at_load(self, quick_config):
+        rows = run_table4(
+            config=quick_config, stations=[25], means=[1.0, 4.35]
+        )
+        row = rows[0]
+        assert row["mean_1_improvement_pct"] > 0
+        assert row["mean_4.35_improvement_pct"] > 0

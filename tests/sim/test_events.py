@@ -1,0 +1,96 @@
+"""Tests for SimEvent combinators."""
+
+from __future__ import annotations
+
+from repro.sim.events import all_of, any_of
+from repro.sim.kernel import hold, wait
+
+
+def test_fire_wakes_all_waiters(sim):
+    event = sim.event()
+    woken = []
+
+    def waiter(name):
+        value = yield wait(event)
+        woken.append((name, value))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    event.fire_in(1.0, "x")
+    sim.run()
+    assert sorted(woken) == [("a", "x"), ("b", "x")]
+
+
+def test_clear_rearms_event(sim):
+    event = sim.event()
+    event.fire("first")
+    assert event.is_set
+    event.clear()
+    assert not event.is_set
+    assert event.value is None
+
+
+def test_on_fire_callback_runs_once(sim):
+    event = sim.event()
+    calls = []
+    event.on_fire(lambda e: calls.append(e.value))
+    event.fire("v")
+    assert calls == ["v"]
+    # Re-fire after clear: the one-shot callback is consumed.
+    event.clear()
+    event.fire("w")
+    assert calls == ["v"]
+
+
+def test_on_fire_on_set_event_runs_immediately(sim):
+    event = sim.event()
+    event.fire("already")
+    calls = []
+    event.on_fire(lambda e: calls.append(e.value))
+    assert calls == ["already"]
+
+
+def test_all_of_fires_after_every_member(sim):
+    events = [sim.event(str(i)) for i in range(3)]
+    combined = all_of(sim, events)
+    log = []
+
+    def waiter():
+        values = yield wait(combined)
+        log.append((sim.now, values))
+
+    sim.spawn(waiter())
+    events[1].fire_in(1.0, "b")
+    events[0].fire_in(2.0, "a")
+    events[2].fire_in(3.0, "c")
+    sim.run()
+    assert log == [(3.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_list_fires_immediately(sim):
+    combined = all_of(sim, [])
+    assert combined.is_set
+    assert combined.value == []
+
+
+def test_any_of_fires_on_first_member(sim):
+    events = [sim.event(str(i)) for i in range(3)]
+    combined = any_of(sim, events)
+    log = []
+
+    def waiter():
+        winner = yield wait(combined)
+        log.append((sim.now, winner.name))
+
+    sim.spawn(waiter())
+    events[2].fire_in(1.0)
+    events[0].fire_in(2.0)
+    sim.run()
+    assert log == [(1.0, "2")]
+
+
+def test_event_repr_shows_state(sim):
+    event = sim.event("probe")
+    assert "clear" in repr(event)
+    event.fire()
+    assert "set" in repr(event)

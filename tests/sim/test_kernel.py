@@ -1,0 +1,228 @@
+"""Tests for the simulation kernel: clock, calendar, processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Simulation, hold, wait
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_callbacks_in_time_order(sim):
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_callbacks_run_in_schedule_order(sim):
+    seen = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda _: None)
+
+
+def test_hold_rejects_negative():
+    with pytest.raises(SimulationError):
+        hold(-1.0)
+
+
+def test_process_holds_advance_time(sim):
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield hold(1.5)
+        times.append(sim.now)
+        yield hold(0.5)
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0.0, 1.5, 2.0]
+
+
+def test_process_returns_value_and_fires_done_event(sim):
+    def proc():
+        yield hold(1.0)
+        return 42
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert not p.alive
+    assert p.result == 42
+    assert p.done_event.is_set
+    assert p.done_event.value == 42
+
+
+def test_process_can_wait_for_another_process(sim):
+    order = []
+
+    def child():
+        yield hold(2.0)
+        order.append("child done")
+        return "payload"
+
+    def parent():
+        child_proc = sim.spawn(child(), name="child")
+        result = yield child_proc
+        order.append(f"parent saw {result}")
+
+    sim.spawn(parent(), name="parent")
+    sim.run()
+    assert order == ["child done", "parent saw payload"]
+
+
+def test_wait_on_event_resumes_with_value(sim):
+    results = []
+    event = sim.event("go")
+
+    def waiter():
+        value = yield wait(event)
+        results.append((sim.now, value))
+
+    sim.spawn(waiter())
+    event.fire_in(3.0, "ready")
+    sim.run()
+    assert results == [(3.0, "ready")]
+
+
+def test_yielding_event_directly_is_equivalent_to_wait(sim):
+    results = []
+    event = sim.event()
+
+    def waiter():
+        value = yield event
+        results.append(value)
+
+    sim.spawn(waiter())
+    event.fire_in(1.0, "direct")
+    sim.run()
+    assert results == ["direct"]
+
+
+def test_wait_on_already_set_event_resumes_immediately(sim):
+    event = sim.event()
+    event.fire("early")
+    results = []
+
+    def waiter():
+        value = yield wait(event)
+        results.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == [(0.0, "early")]
+
+
+def test_run_until_stops_clock_at_bound(sim):
+    def proc():
+        while True:
+            yield hold(1.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+    p.kill()
+    sim.run(until=6.0)
+
+
+def test_run_is_not_reentrant(sim):
+    def proc():
+        with pytest.raises(SimulationError):
+            sim.run()
+        yield hold(0.0)
+
+    sim.spawn(proc())
+    sim.run()
+
+
+def test_interrupt_is_thrown_into_waiting_process(sim):
+    outcomes = []
+    event = sim.event()
+
+    def waiter():
+        try:
+            yield wait(event)
+            outcomes.append("completed")
+        except Interrupt as exc:
+            outcomes.append(("interrupted", exc.cause, sim.now))
+
+    p = sim.spawn(waiter())
+    sim.schedule(2.0, lambda _: p.interrupt("timeout"), None)
+    sim.run()
+    assert outcomes == [("interrupted", "timeout", 2.0)]
+    assert event.waiter_count == 0  # waiter was withdrawn
+
+
+def test_kill_terminates_process_silently(sim):
+    progressed = []
+
+    def proc():
+        yield hold(1.0)
+        progressed.append("step")
+        yield hold(10.0)
+        progressed.append("never")
+
+    p = sim.spawn(proc())
+    sim.schedule(2.0, lambda _: p.kill(), None)
+    sim.run()
+    assert progressed == ["step"]
+    assert not p.alive
+
+
+def test_spawn_rejects_non_generator(sim):
+    with pytest.raises(SimulationError):
+        sim.spawn(42)  # type: ignore[arg-type]
+
+
+def test_unsupported_command_raises(sim):
+    def proc():
+        yield "nonsense"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_many_processes_interleave_deterministically(sim):
+    log = []
+
+    def proc(name, delay):
+        for i in range(3):
+            yield hold(delay)
+            log.append((sim.now, name, i))
+
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 1.5))
+    sim.run()
+    assert log == sorted(log, key=lambda entry: entry[0])
+    assert len(log) == 6
+
+
+def test_peek_reports_next_event_time(sim):
+    assert sim.peek() == float("inf")
+    sim.schedule(4.0, lambda _: None)
+    assert sim.peek() == 4.0
+
+
+def test_max_events_bounds_execution(sim):
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]

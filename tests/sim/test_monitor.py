@@ -1,0 +1,106 @@
+"""Tests for statistics collectors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Histogram, Tally, TimeWeighted
+
+
+def test_tally_mean_and_extremes():
+    tally = Tally()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        tally.record(value)
+    assert tally.count == 4
+    assert tally.mean == pytest.approx(2.5)
+    assert tally.minimum == 1.0
+    assert tally.maximum == 4.0
+    assert tally.total == pytest.approx(10.0)
+
+
+def test_tally_variance_matches_textbook():
+    tally = Tally()
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    for value in values:
+        tally.record(value)
+    mean = sum(values) / len(values)
+    expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert tally.variance == pytest.approx(expected)
+    assert tally.stddev == pytest.approx(math.sqrt(expected))
+
+
+def test_tally_empty_is_safe():
+    tally = Tally()
+    assert tally.mean == 0.0
+    assert tally.variance == 0.0
+
+
+def test_tally_reset():
+    tally = Tally()
+    tally.record(5.0)
+    tally.reset()
+    assert tally.count == 0
+    assert tally.mean == 0.0
+
+
+def test_timeweighted_mean_weights_by_duration(sim):
+    signal = TimeWeighted(sim, initial=0.0)
+    sim.schedule(2.0, lambda _: signal.record(10.0))
+    sim.schedule(6.0, lambda _: signal.record(0.0))
+    sim.schedule(10.0, lambda _: None)
+    sim.run()
+    # 0 for 2s, 10 for 4s, 0 for 4s over 10s -> mean 4.0
+    assert signal.mean == pytest.approx(4.0)
+    assert signal.maximum == 10.0
+
+
+def test_timeweighted_tracks_current_level(sim):
+    signal = TimeWeighted(sim, initial=3.0)
+    assert signal.level == 3.0
+    signal.record(7.0)
+    assert signal.level == 7.0
+
+
+def test_timeweighted_reset_restarts_window(sim):
+    signal = TimeWeighted(sim, initial=5.0)
+    sim.schedule(4.0, lambda _: signal.reset())
+    sim.schedule(8.0, lambda _: None)
+    sim.run()
+    assert signal.mean == pytest.approx(5.0)
+    assert signal.elapsed == pytest.approx(4.0)
+
+
+def test_histogram_bins_and_quantiles():
+    histogram = Histogram(low=0.0, high=10.0, bins=10)
+    for value in range(10):
+        histogram.record(value + 0.5)
+    assert histogram.count == 10
+    assert histogram.underflow == 0
+    assert histogram.overflow == 0
+    assert histogram.counts == [1] * 10
+    assert histogram.quantile(0.5) == pytest.approx(4.5)
+
+
+def test_histogram_under_and_overflow():
+    histogram = Histogram(low=0.0, high=1.0, bins=2)
+    histogram.record(-1.0)
+    histogram.record(2.0)
+    assert histogram.underflow == 1
+    assert histogram.overflow == 1
+
+
+def test_histogram_quantile_empty_returns_none():
+    histogram = Histogram(low=0.0, high=1.0)
+    assert histogram.quantile(0.5) is None
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(low=0.0, high=0.0)
+    with pytest.raises(ValueError):
+        Histogram(low=0.0, high=1.0, bins=0)
+    histogram = Histogram(low=0.0, high=1.0)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)

@@ -1,0 +1,168 @@
+"""Tests for Facility and Store resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import hold
+from repro.sim.resources import Facility, Store, facility_set
+
+
+def test_facility_grants_up_to_capacity_without_queueing(sim):
+    facility = Facility(sim, "servers", capacity=2)
+    grants = []
+
+    def customer(name):
+        yield facility.request()
+        grants.append((sim.now, name))
+        yield hold(5.0)
+        facility.release()
+
+    sim.spawn(customer("a"))
+    sim.spawn(customer("b"))
+    sim.run()
+    assert [t for t, _ in grants] == [0.0, 0.0]
+
+
+def test_facility_queues_fifo_beyond_capacity(sim):
+    facility = Facility(sim, capacity=1)
+    grants = []
+
+    def customer(name, service):
+        yield facility.request()
+        grants.append((sim.now, name))
+        yield hold(service)
+        facility.release()
+
+    sim.spawn(customer("a", 2.0))
+    sim.spawn(customer("b", 1.0))
+    sim.spawn(customer("c", 1.0))
+    sim.run()
+    assert grants == [(0.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_facility_release_when_idle_raises(sim):
+    facility = Facility(sim)
+    with pytest.raises(SimulationError):
+        facility.release()
+
+
+def test_facility_try_acquire_is_nonblocking(sim):
+    facility = Facility(sim, capacity=1)
+    assert facility.try_acquire()
+    assert not facility.try_acquire()
+    facility.release()
+    assert facility.try_acquire()
+
+
+def test_facility_tracks_queueing_delay(sim):
+    facility = Facility(sim, capacity=1)
+
+    def customer(service):
+        yield facility.request()
+        yield hold(service)
+        facility.release()
+
+    sim.spawn(customer(4.0))
+    sim.spawn(customer(1.0))
+    sim.run()
+    assert facility.delay.count == 2
+    assert facility.delay.maximum == 4.0
+    assert facility.delay.minimum == 0.0
+
+
+def test_facility_capacity_validation(sim):
+    with pytest.raises(SimulationError):
+        Facility(sim, capacity=0)
+
+
+def test_facility_set_builds_named_singles(sim):
+    facilities = facility_set(sim, "disk", 3)
+    assert len(facilities) == 3
+    assert facilities[2].name == "disk[2]"
+    assert all(f.capacity == 1 for f in facilities)
+
+
+def test_store_put_then_get(sim):
+    store = Store(sim)
+    received = []
+
+    def producer():
+        yield store.put("item-1")
+        yield hold(1.0)
+        yield store.put("item-2")
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            received.append((sim.now, item))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == [(0.0, "item-1"), (1.0, "item-2")]
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer():
+        yield hold(3.0)
+        yield store.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert received == [(3.0, "late")]
+
+
+def test_bounded_store_blocks_putter_when_full(sim):
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put a", sim.now))
+        yield store.put("b")
+        log.append(("put b", sim.now))
+
+    def consumer():
+        yield hold(2.0)
+        item = yield store.get()
+        log.append((f"got {item}", sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("put a", 0.0) in log
+    assert ("put b", 2.0) in log  # unblocked by the get
+
+
+def test_store_try_put_and_try_get(sim):
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert store.try_get() == 1
+    assert store.try_get() == 2
+    assert store.try_get() is None
+
+
+def test_store_len_tracks_items(sim):
+    store = Store(sim)
+    assert len(store) == 0
+    store.try_put("x")
+    assert len(store) == 1
+    store.try_get()
+    assert len(store) == 0
+
+
+def test_store_capacity_validation(sim):
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)

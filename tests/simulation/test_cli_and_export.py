@@ -1,0 +1,100 @@
+"""Tests for the CLI and result export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.simulation.export import read_rows, write_csv, write_json
+
+
+class TestExport:
+    ROWS = [
+        {"technique": "simple", "stations": 4, "throughput": 123.4},
+        {"technique": "vdr", "stations": 4, "throughput": 88.8, "extra": 1},
+    ]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(self.ROWS, tmp_path / "out.csv")
+        back = read_rows(path)
+        assert len(back) == 2
+        assert back[0]["technique"] == "simple"
+        assert float(back[1]["throughput"]) == pytest.approx(88.8)
+        assert back[0]["extra"] == ""  # missing cell left blank
+
+    def test_json_roundtrip(self, tmp_path):
+        path = write_json(self.ROWS, tmp_path / "out.json")
+        back = read_rows(path)
+        assert back == json.loads(path.read_text())
+        assert back[0]["throughput"] == pytest.approx(123.4)
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "x.csv")
+        with pytest.raises(ConfigurationError):
+            write_json([], tmp_path / "x.json")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        target = tmp_path / "x.yaml"
+        target.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_rows(target)
+
+
+class TestCLI:
+    def test_info_prints_table3_quantities(self, capsys):
+        assert main(["info", "--scale", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "degree of declustering" in out
+        assert "clusters (R)" in out
+
+    def test_info_full_scale_numbers(self, capsys):
+        main(["info", "--scale", "1"])
+        out = capsys.readouterr().out
+        assert "1000" in out  # D
+        assert "200" in out  # R
+
+    def test_run_command_outputs_summary(self, capsys, tmp_path):
+        code = main([
+            "run", "--scale", "50", "--technique", "simple",
+            "--stations", "2", "--mean", "0.2",
+            "--output", str(tmp_path / "run.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput_per_hour" in out
+        rows = read_rows(tmp_path / "run.json")
+        assert rows[0]["technique"] == "simple"
+
+    def test_sweep_command(self, capsys):
+        code = main([
+            "sweep", "--scale", "50", "--technique", "simple",
+            "--mean", "0.2", "--values", "1", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("simple") >= 2
+
+    def test_table4_command(self, capsys, tmp_path):
+        code = main([
+            "table4", "--scale", "50", "--values", "2",
+            "--output", str(tmp_path / "t4.csv"),
+        ])
+        assert code == 0
+        rows = read_rows(tmp_path / "t4.csv")
+        assert rows[0]["stations"] == "2"
+
+    def test_parser_rejects_unknown_technique(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--technique", "raid"])
+
+    def test_uniform_flag(self, capsys):
+        code = main([
+            "run", "--scale", "50", "--technique", "simple",
+            "--stations", "1", "--uniform",
+        ])
+        assert code == 0

@@ -1,0 +1,92 @@
+"""Tests for the scheduler event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import ScaledConfig
+from repro.simulation.event_log import EventLog, LogEntry
+from repro.simulation.runner import build_catalog, build_policy
+from repro.simulation.engine import IntervalEngine
+from repro.sim.rng import RandomStream
+from repro.workload.access import GeometricAccess
+from repro.workload.stations import StationPool
+
+
+class TestEventLogBasics:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(3, "admit", display=1)
+        log.record(5, "complete", display=1)
+        log.record(5, "evict", object=7)
+        assert len(log) == 3
+        assert [e.kind for e in log.of_kind("admit")] == ["admit"]
+        assert len(log.between(4, 6)) == 2
+        assert log.counts() == {"admit": 1, "complete": 1, "evict": 1}
+        assert log.tail(1)[0].kind == "evict"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventLog().record(0, "exploded")
+
+    def test_capacity_bound_drops_oldest(self):
+        log = EventLog(capacity=2)
+        for interval in range(4):
+            log.record(interval, "admit", n=interval)
+        assert len(log) == 2
+        assert log.dropped == 2
+        assert [e.interval for e in log] == [2, 3]
+
+    def test_entry_str(self):
+        entry = LogEntry(interval=4, kind="evict", details={"object": 9})
+        assert str(entry) == "[4] evict object=9"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
+
+
+def run_logged(technique: str):
+    config = ScaledConfig(
+        scale=50, technique=technique, num_stations=4, access_mean=0.5,
+        warmup_intervals=0, measure_intervals=800, preload=False,
+    )
+    catalog = build_catalog(config)
+    log = EventLog()
+    policy = build_policy(config, catalog)
+    policy.event_log = log
+    stations = StationPool(
+        num_stations=4,
+        access=GeometricAccess(catalog.object_ids, 0.5, RandomStream(9)),
+    )
+    engine = IntervalEngine(
+        policy=policy, stations=stations,
+        interval_length=config.interval_length, technique=technique,
+    )
+    engine.run(0, 800)
+    return log, policy
+
+
+class TestLoggedRuns:
+    def test_staggered_run_logs_lifecycle(self):
+        log, policy = run_logged("simple")
+        counts = log.counts()
+        # Cold start: materialisations happened, then admissions and
+        # completions in equal measure.
+        assert counts.get("materialize_start", 0) >= 1
+        assert counts.get("materialize_done", 0) >= 1
+        assert counts.get("admit", 0) == counts.get("complete", 0) + (
+            len(policy._active)
+        )
+
+    def test_vdr_run_logs_lifecycle(self):
+        log, policy = run_logged("vdr")
+        counts = log.counts()
+        assert counts.get("materialize_start", 0) >= 1
+        assert counts.get("admit", 0) >= 1
+
+    def test_admit_entries_carry_latency(self):
+        log, _policy = run_logged("simple")
+        for entry in log.of_kind("admit"):
+            assert entry.details["latency"] >= 0

@@ -1,0 +1,92 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import StaggeredStripingPolicy
+from repro.errors import ConfigurationError
+from repro.simulation.config import ScaledConfig
+from repro.simulation.runner import (
+    build_catalog,
+    build_engine,
+    build_policy,
+    preload_ids,
+    run_experiment,
+    run_sweep,
+    sweep_table,
+)
+from repro.sim.rng import RandomStream
+from repro.vdr.scheduler import VirtualReplicationPolicy
+from repro.workload.access import GeometricAccess
+
+
+@pytest.fixture
+def config():
+    return ScaledConfig(technique="simple", num_stations=4, access_mean=1.0,
+                        warmup_intervals=100, measure_intervals=500)
+
+
+class TestBuilders:
+    def test_catalog_matches_config(self, config):
+        catalog = build_catalog(config)
+        assert len(catalog) == config.num_objects
+        assert catalog.get(0).degree == config.degree
+
+    def test_policy_dispatch(self, config):
+        assert isinstance(
+            build_policy(config, build_catalog(config)), StaggeredStripingPolicy
+        )
+        vdr = config.with_(technique="vdr")
+        assert isinstance(
+            build_policy(vdr, build_catalog(vdr)), VirtualReplicationPolicy
+        )
+
+    def test_preload_fills_capacity(self, config):
+        catalog = build_catalog(config)
+        access = GeometricAccess(
+            catalog.object_ids, 1.0, RandomStream(1)
+        )
+        ids = preload_ids(config, access)
+        assert len(ids) == config.max_resident_objects
+        assert ids[0] == 0  # hottest first
+
+    def test_engine_wiring(self, config):
+        engine = build_engine(config)
+        assert len(engine.stations) == 4
+        assert engine.interval_length == pytest.approx(config.interval_length)
+
+
+class TestRunners:
+    def test_run_experiment_produces_result(self, config):
+        result = run_experiment(config)
+        assert result.technique == "simple"
+        assert result.completed > 0
+
+    def test_run_sweep_varies_field(self, config):
+        results = run_sweep(config, "num_stations", [1, 2])
+        assert [r.num_stations for r in results] == [1, 2]
+        assert results[0].throughput_per_hour <= (
+            results[1].throughput_per_hour + 1e-9
+        )
+
+    def test_sweep_table_rows(self, config):
+        results = run_sweep(config, "num_stations", [1])
+        rows = sweep_table(results)
+        assert rows[0]["stations"] == 1
+
+    def test_empty_sweep_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            run_sweep(config, "num_stations", [])
+
+
+class TestNoPreload:
+    def test_cold_start_still_completes(self):
+        config = ScaledConfig(
+            technique="simple", num_stations=2, access_mean=1.0,
+            preload=False, warmup_intervals=0, measure_intervals=2500,
+        )
+        result = run_experiment(config)
+        # Cold start: everything must come off the tertiary first.
+        assert result.completed >= 1
+        assert result.policy_stats["tertiary_completed"] >= 1

@@ -1,0 +1,84 @@
+"""Tests for per-interval utilization tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import ScaledConfig
+from repro.simulation.results import SimulationResult
+from repro.simulation.runner import run_experiment
+
+
+class TestResultAccumulators:
+    def test_empty_result_is_zero(self):
+        result = SimulationResult(
+            technique="simple", num_stations=1, access_mean=None,
+            interval_length=1.0, warmup_intervals=0, measure_intervals=1,
+            completed=0,
+        )
+        assert result.mean_concurrent_displays == 0.0
+        assert result.mean_busy_fraction == 0.0
+        assert result.concurrency_max == 0
+
+    def test_samples_average(self):
+        result = SimulationResult(
+            technique="simple", num_stations=1, access_mean=None,
+            interval_length=1.0, warmup_intervals=0, measure_intervals=3,
+            completed=0,
+        )
+        result.record_utilization(2, 0.5)
+        result.record_utilization(4, 1.0)
+        assert result.mean_concurrent_displays == pytest.approx(3.0)
+        assert result.mean_busy_fraction == pytest.approx(0.75)
+        assert result.concurrency_max == 4
+
+    def test_summary_includes_utilization(self):
+        result = SimulationResult(
+            technique="simple", num_stations=1, access_mean=None,
+            interval_length=1.0, warmup_intervals=0, measure_intervals=1,
+            completed=0,
+        )
+        result.record_utilization(3, 0.9)
+        summary = result.summary()
+        assert summary["mean_concurrent"] == 3.0
+        assert summary["mean_busy_fraction"] == pytest.approx(0.9)
+
+
+class TestEndToEnd:
+    def test_saturated_striping_fills_the_array(self):
+        config = ScaledConfig(
+            technique="simple", num_stations=26, access_mean=1.0,
+        )
+        result = run_experiment(config)
+        # R = 20 concurrent display slots at saturation.
+        assert result.concurrency_max == config.num_clusters
+        assert result.mean_concurrent_displays > 0.9 * config.num_clusters
+        assert result.mean_busy_fraction > 0.9
+
+    def test_light_load_leaves_headroom(self):
+        config = ScaledConfig(
+            technique="simple", num_stations=2, access_mean=1.0,
+        )
+        result = run_experiment(config)
+        assert result.concurrency_max <= 2
+        assert result.mean_busy_fraction < 0.25
+
+    def test_vdr_reports_cluster_utilization(self):
+        config = ScaledConfig(
+            technique="vdr", num_stations=26, access_mean=1.0,
+        )
+        result = run_experiment(config)
+        assert 0.0 < result.mean_busy_fraction <= 1.0
+        assert result.concurrency_max <= config.num_clusters
+
+    def test_concurrency_explains_throughput(self):
+        """Little's-law style sanity: throughput ≈ concurrency /
+        display time at steady state."""
+        config = ScaledConfig(
+            technique="simple", num_stations=12, access_mean=1.0,
+        )
+        result = run_experiment(config)
+        predicted = (
+            result.mean_concurrent_displays / config.display_time * 3600.0
+        )
+        assert result.throughput_per_hour == pytest.approx(predicted, rel=0.1)

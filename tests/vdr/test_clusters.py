@@ -1,0 +1,88 @@
+"""Tests for VDR clusters and the copy directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.vdr.clusters import Cluster, ClusterArray
+
+
+@pytest.fixture
+def array():
+    return ClusterArray(num_disks=15, degree=5, capacity_objects=1)
+
+
+class TestShape:
+    def test_cluster_count_and_disks(self, array):
+        assert len(array) == 3
+        assert array.clusters[1].first_disk == 5
+        assert array.clusters[1].num_disks == 5
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ClusterArray(num_disks=10, degree=3, capacity_objects=1)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClusterArray(num_disks=10, degree=5, capacity_objects=0)
+
+
+class TestCopyDirectory:
+    def test_add_and_remove_copy(self, array):
+        array.add_copy(7, 0)
+        assert array.copy_count(7) == 1
+        assert [c.index for c in array.holders(7)] == [0]
+        array.remove_copy(7, 0)
+        assert array.copy_count(7) == 0
+        assert array.holders(7) == []
+
+    def test_capacity_one_object_per_cluster(self, array):
+        array.add_copy(1, 0)
+        with pytest.raises(CapacityError):
+            array.add_copy(2, 0)
+
+    def test_replicas_across_clusters(self, array):
+        array.add_copy(1, 0)
+        array.add_copy(1, 2)
+        assert array.copy_count(1) == 2
+
+    def test_evict_all(self, array):
+        array.add_copy(1, 0)
+        assert array.evict_all(0) == [1]
+        assert array.copy_count(1) == 0
+        assert array.clusters[0].has_space
+
+
+class TestBusyness:
+    def test_occupy_and_finish(self, array):
+        cluster = array.clusters[0]
+        cluster.occupy(interval=3, duration=10, activity="display", object_id=1)
+        assert not cluster.is_free(5)
+        assert cluster.is_free(13)
+        assert cluster.activity == "display"
+        cluster.finish()
+        assert cluster.activity is None
+
+    def test_double_occupy_rejected(self, array):
+        cluster = array.clusters[0]
+        cluster.occupy(0, 5, "display", 1)
+        with pytest.raises(CapacityError):
+            cluster.occupy(3, 5, "clone", 2)
+
+    def test_duration_validated(self, array):
+        with pytest.raises(ConfigurationError):
+            array.clusters[0].occupy(0, 0, "display", 1)
+
+    def test_free_holder_prefers_lowest_index(self, array):
+        array.add_copy(1, 0)
+        array.add_copy(1, 2)
+        array.clusters[0].occupy(0, 5, "display", 1)
+        holder = array.free_holder(1, interval=0)
+        assert holder.index == 2
+        assert array.free_holder(1, interval=0) is not None
+
+    def test_free_clusters(self, array):
+        array.clusters[1].occupy(0, 5, "display", 1)
+        free = [c.index for c in array.free_clusters(0)]
+        assert free == [0, 2]

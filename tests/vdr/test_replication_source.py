@@ -1,0 +1,90 @@
+"""Tests for the VDR replication-source variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.tertiary import TertiaryDevice
+from repro.media.catalog import Catalog
+from repro.media.tape_layout import TapeLayout, TapeOrder
+from repro.simulation.config import ScaledConfig
+from repro.simulation.policy import Request
+from repro.simulation.runner import run_experiment
+from repro.vdr.clusters import ClusterArray
+from repro.vdr.scheduler import VirtualReplicationPolicy
+from tests.conftest import make_object
+
+
+def build_policy(source, num_disks=15, degree=3, num_subobjects=6):
+    catalog = Catalog(
+        [make_object(i, num_subobjects=num_subobjects, degree=degree)
+         for i in range(3)]
+    )
+    return catalog, VirtualReplicationPolicy(
+        catalog=catalog,
+        clusters=ClusterArray(num_disks=num_disks, degree=degree,
+                              capacity_objects=1),
+        device=TertiaryDevice(bandwidth=40.0, reposition_time=0.6),
+        tape_layout=TapeLayout(TapeOrder.FRAGMENT_ORDERED),
+        interval_length=0.6048,
+        replication_source=source,
+    )
+
+
+def flood(policy, object_id, count):
+    for i in range(count):
+        policy.submit(
+            Request(request_id=i + 1, station_id=i, object_id=object_id,
+                    issued_at=0),
+            interval=0,
+        )
+
+
+def run(policy, want, horizon=3000):
+    completions = []
+    for interval in range(horizon):
+        completions.extend(policy.advance(interval))
+        if len(completions) >= want:
+            break
+    return completions
+
+
+class TestTertiarySource:
+    def test_replica_created_through_tertiary(self):
+        catalog, policy = build_policy("tertiary")
+        policy.preload([0, 1, 2])
+        flood(policy, 0, 3)
+        completions = run(policy, 3)
+        assert len(completions) == 3
+        assert policy.replication.replicas_created >= 1
+        # The replica went through the device, not a stream clone.
+        assert policy.tertiary_busy_intervals > 0
+
+    def test_tertiary_source_is_slower_than_stream(self):
+        results = {}
+        for source in ("stream", "tertiary"):
+            catalog, policy = build_policy(source, num_subobjects=8)
+            policy.preload([0, 1, 2])
+            flood(policy, 0, 4)
+            completions = run(policy, 4)
+            results[source] = max(c.finished_at for c in completions)
+        assert results["stream"] <= results["tertiary"]
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_policy("carrier-pigeon")
+
+
+class TestRunnerWiring:
+    def test_config_flag_reaches_policy(self):
+        config = ScaledConfig(
+            scale=50, technique="vdr", num_stations=4, access_mean=0.2,
+            replication_source="tertiary",
+        )
+        result = run_experiment(config)
+        assert result.completed > 0
+
+    def test_config_validates_source(self):
+        with pytest.raises(ConfigurationError):
+            ScaledConfig(replication_source="nope")

@@ -1,0 +1,140 @@
+"""Tests for the VDR storage policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.tertiary import TertiaryDevice
+from repro.media.catalog import Catalog
+from repro.media.tape_layout import TapeLayout, TapeOrder
+from repro.simulation.policy import Request
+from repro.vdr.clusters import ClusterArray
+from repro.vdr.scheduler import VirtualReplicationPolicy
+from tests.conftest import make_object
+
+
+def build_policy(
+    num_disks=15, degree=3, num_objects=4, num_subobjects=6, threshold=1
+):
+    catalog = Catalog(
+        [make_object(i, num_subobjects=num_subobjects, degree=degree)
+         for i in range(num_objects)]
+    )
+    clusters = ClusterArray(
+        num_disks=num_disks, degree=degree, capacity_objects=1
+    )
+    return VirtualReplicationPolicy(
+        catalog=catalog,
+        clusters=clusters,
+        device=TertiaryDevice(bandwidth=40.0, reposition_time=0.6),
+        tape_layout=TapeLayout(TapeOrder.FRAGMENT_ORDERED),
+        interval_length=0.6048,
+        replication_threshold=threshold,
+    )
+
+
+def request(request_id, object_id, issued_at=0):
+    return Request(request_id=request_id, station_id=0, object_id=object_id,
+                   issued_at=issued_at)
+
+
+def run_until(policy, count, horizon=2000):
+    completions = []
+    for interval in range(horizon):
+        completions.extend(policy.advance(interval))
+        if len(completions) >= count:
+            break
+    return completions
+
+
+class TestDisplays:
+    def test_resident_display_monopolises_cluster(self):
+        policy = build_policy()
+        policy.preload([0])
+        policy.submit(request(1, 0), 0)
+        completions = run_until(policy, 1)
+        assert len(completions) == 1
+        assert completions[0].deliver_start == 0
+        assert completions[0].finished_at == 5
+
+    def test_same_object_requests_serialise_without_replication(self):
+        """With replication impossible (all clusters hold pinned last
+        copies), two requests for one object run back to back."""
+        policy = build_policy(num_disks=6, degree=3, num_objects=2,
+                              num_subobjects=4)
+        policy.preload([0, 1])
+        policy.submit(request(1, 0), 0)
+        policy.submit(request(2, 0), 0)
+        policy.submit(request(3, 1), 0)  # pins object 1's last copy
+        completions = run_until(policy, 3)
+        finishes = sorted(
+            c.finished_at for c in completions if c.request.object_id == 0
+        )
+        assert finishes == [3, 7]  # strictly serial on the one cluster
+
+    def test_miss_materialises_from_tertiary(self):
+        policy = build_policy(num_objects=4)
+        policy.preload([0, 1, 2])
+        policy.submit(request(1, 3), 0)
+        completions = run_until(policy, 1)
+        assert len(completions) == 1
+        assert completions[0].startup_latency > 0
+        assert policy.materializations == 1
+        assert policy.clusters.copy_count(3) == 1
+
+
+class TestReplication:
+    def test_queue_pressure_creates_replica(self):
+        policy = build_policy(num_disks=15, degree=3, num_objects=2,
+                              num_subobjects=6)
+        policy.preload([0, 1])
+        for i in range(3):
+            policy.submit(request(i + 1, 0), 0)
+        run_until(policy, 3)
+        assert policy.replication.replicas_created >= 1
+        assert policy.clusters.copy_count(0) >= 2
+
+    def test_replica_serves_later_requests_in_parallel(self):
+        policy = build_policy(num_disks=15, degree=3, num_objects=2,
+                              num_subobjects=8)
+        policy.preload([0, 1])
+        for i in range(3):
+            policy.submit(request(i + 1, 0), 0)
+        completions = run_until(policy, 3)
+        finishes = sorted(c.finished_at for c in completions)
+        # Without replication three serial displays end at 7, 15, 23;
+        # the clone (ready at interval 8) lets the third overlap.
+        assert finishes[2] < 23
+
+    def test_no_replication_without_spare_cluster(self):
+        policy = build_policy(num_disks=3, degree=3, num_objects=1,
+                              num_subobjects=4)
+        policy.preload([0])
+        for i in range(2):
+            policy.submit(request(i + 1, 0), 0)
+        completions = run_until(policy, 2)
+        assert policy.replication.replicas_created == 0
+        assert sorted(c.finished_at for c in completions) == [3, 7]
+
+
+class TestStats:
+    def test_hit_and_miss_accounting(self):
+        policy = build_policy()
+        policy.preload([0])
+        policy.submit(request(1, 0), 0)
+        policy.submit(request(2, 3), 0)
+        run_until(policy, 2)
+        stats = policy.stats()
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["completed_displays"] == 2.0
+        assert stats["materializations"] == 1.0
+
+    def test_pending_count_tracks_queue_and_active(self):
+        policy = build_policy()
+        policy.preload([0])
+        policy.submit(request(1, 0), 0)
+        assert policy.pending_count() == 1
+        policy.advance(0)
+        assert policy.pending_count() == 1  # now active
+        run_until(policy, 1)
+        assert policy.pending_count() == 0

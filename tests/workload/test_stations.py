@@ -1,0 +1,73 @@
+"""Tests for closed-loop display stations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStream
+from repro.workload.access import UniformAccess
+from repro.workload.stations import StationPool
+
+
+@pytest.fixture
+def pool(stream):
+    access = UniformAccess(list(range(5)), stream)
+    return StationPool(num_stations=3, access=access)
+
+
+class TestClosedLoop:
+    def test_all_stations_issue_at_start(self, pool):
+        requests = pool.ready_requests(0)
+        assert len(requests) == 3
+        assert {r.station_id for r in requests} == {0, 1, 2}
+
+    def test_busy_station_does_not_reissue(self, pool):
+        pool.ready_requests(0)
+        assert pool.ready_requests(1) == []
+
+    def test_completion_reissues_next_interval(self, pool):
+        [request, *_] = pool.ready_requests(0)
+        pool.complete(request, interval=10)
+        assert pool.ready_requests(10) == []  # zero think, next interval
+        reissued = pool.ready_requests(11)
+        assert len(reissued) == 1
+        assert reissued[0].station_id == request.station_id
+        assert reissued[0].request_id != request.request_id
+
+    def test_think_time_delays_reissue(self, stream):
+        access = UniformAccess([0], stream)
+        pool = StationPool(num_stations=1, access=access, think_intervals=5)
+        [request] = pool.ready_requests(0)
+        pool.complete(request, interval=10)
+        assert pool.ready_requests(15) == []
+        assert len(pool.ready_requests(16)) == 1
+
+    def test_mismatched_completion_rejected(self, pool):
+        [request, *_] = pool.ready_requests(0)
+        pool.complete(request, 5)
+        with pytest.raises(ConfigurationError):
+            pool.complete(request, 6)
+
+    def test_counters(self, pool):
+        requests = pool.ready_requests(0)
+        for request in requests:
+            pool.complete(request, 3)
+        assert pool.total_completed() == 3
+        assert all(s.requests_issued == 1 for s in pool.stations)
+
+    def test_request_ids_unique(self, pool):
+        seen = set()
+        for interval in range(0, 20, 2):
+            for request in pool.ready_requests(interval):
+                assert request.request_id not in seen
+                seen.add(request.request_id)
+                pool.complete(request, interval)
+
+
+def test_validation(stream):
+    access = UniformAccess([0], stream)
+    with pytest.raises(ConfigurationError):
+        StationPool(num_stations=0, access=access)
+    with pytest.raises(ConfigurationError):
+        StationPool(num_stations=1, access=access, think_intervals=-1)
