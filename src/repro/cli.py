@@ -2,14 +2,18 @@
 
 Commands
 --------
-``info``     derived quantities of a configuration (Table 3 arithmetic)
-``run``      one experiment (technique × stations × skew)
-``sweep``    a station sweep for one technique
-``figure8``  the Figure 8 grid (both techniques, all skews)
-``table4``   the Table 4 improvement matrix
+``info``        derived quantities of a configuration (Table 3 arithmetic)
+``run``         one experiment (technique × stations × skew)
+``sweep``       a station sweep for one technique
+``figure8``     the Figure 8 grid (both techniques, all skews)
+``table4``      the Table 4 improvement matrix
+``obs-report``  summarise a ``--metrics`` file (or convert a trace)
 
 All simulation commands accept ``--scale`` (1 = the paper's full
-parameters) and ``--output FILE.csv|FILE.json`` to export the rows.
+parameters) and ``--output FILE.csv|FILE.json`` to export the rows,
+plus the telemetry flags ``--obs-level {off,metrics,trace}``,
+``--metrics FILE.json`` and ``--trace FILE.jsonl`` (see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.errors import ReproError
 from repro.experiments.figure8 import (
     base_config,
     figure8_rows,
@@ -27,17 +32,61 @@ from repro.experiments.figure8 import (
     scaled_stations,
 )
 from repro.experiments.table4 import run_table4, scaled_table4_stations
+from repro.obs import Observability, convert_jsonl_to_chrome
+from repro.obs.report import format_report, load_metrics
 from repro.simulation.config import SimulationConfig
 from repro.simulation.export import write_csv, write_json
 from repro.simulation.runner import run_experiment, run_sweep, sweep_table
+
+
+def _output_path(value: str) -> str:
+    """Validate ``--output`` up front so runs never end in an export
+    error after minutes of simulation."""
+    if not value.endswith((".csv", ".json")):
+        raise argparse.ArgumentTypeError(
+            f"output must end in .csv or .json, got {value!r}"
+        )
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=int, default=10,
                         help="linear scale divisor (1 = full paper scale)")
     parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--output", default=None,
+    parser.add_argument("--output", type=_output_path, default=None,
                         help="export rows to FILE.csv or FILE.json")
+    parser.add_argument("--obs-level", default="off",
+                        choices=["off", "metrics", "trace"],
+                        help="telemetry level (default: off, zero overhead)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write per-run metrics JSON (implies "
+                             "--obs-level metrics)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="stream a JSONL event trace (implies "
+                             "--obs-level trace)")
+
+
+def _observability(args) -> Optional[Observability]:
+    """A telemetry session for the run, or ``None`` when off."""
+    obs = Observability(
+        level=getattr(args, "obs_level", "off"),
+        trace_path=getattr(args, "trace", None),
+        metrics_path=getattr(args, "metrics", None),
+    )
+    return obs if obs.enabled else None
+
+
+def _finish_obs(obs: Optional[Observability]) -> None:
+    """Flush the session; print paths or an inline report."""
+    if obs is None:
+        return
+    document = obs.metrics_document()
+    written = obs.finish()
+    for path in written:
+        print(f"wrote {path}")
+    if obs.metrics_path is None and document["runs"]:
+        print()
+        print(format_report(document))
 
 
 def _add_workload(parser: argparse.ArgumentParser) -> None:
@@ -106,35 +155,63 @@ def cmd_info(args) -> int:
 def cmd_run(args) -> int:
     config = _config(args)
     print(f"running: {config.describe()}")
-    result = run_experiment(config)
+    obs = _observability(args)
+    result = run_experiment(config, obs=obs)
     _emit([result.summary()], args.output)
+    _finish_obs(obs)
     return 0
 
 
 def cmd_sweep(args) -> int:
     config = _config(args)
     stations = args.values or scaled_stations(args.scale)
-    results = run_sweep(config, "num_stations", stations)
+    obs = _observability(args)
+    results = run_sweep(config, "num_stations", stations, obs=obs)
     _emit(sweep_table(results), args.output)
+    _finish_obs(obs)
     return 0
 
 
 def cmd_figure8(args) -> int:
     stations = args.values or scaled_stations(args.scale)
+    obs = _observability(args)
     curves = run_figure8(
-        scale=args.scale, stations=stations, means=scaled_means(args.scale)
+        scale=args.scale, stations=stations, means=scaled_means(args.scale),
+        obs=obs,
     )
     _emit(figure8_rows(curves), args.output)
+    _finish_obs(obs)
     return 0
 
 
 def cmd_table4(args) -> int:
+    obs = _observability(args)
     rows = run_table4(
         scale=args.scale,
         stations=args.values or scaled_table4_stations(args.scale),
         means=scaled_means(args.scale),
+        obs=obs,
     )
     _emit(rows, args.output)
+    _finish_obs(obs)
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    if args.chrome:
+        if not args.trace:
+            print("obs-report: --chrome requires --trace FILE.jsonl",
+                  file=sys.stderr)
+            return 2
+        path = convert_jsonl_to_chrome(args.trace, args.chrome)
+        print(f"wrote {path}")
+    if args.metrics_file:
+        document = load_metrics(args.metrics_file)
+        print(format_report(document, run_index=args.run))
+    elif not args.chrome:
+        print("obs-report: nothing to do (pass a metrics file and/or "
+              "--trace/--chrome)", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -173,13 +250,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab4.add_argument("--values", type=int, nargs="*", default=None)
     p_tab4.set_defaults(func=cmd_table4)
 
+    p_obs = sub.add_parser(
+        "obs-report",
+        help="summarise a metrics file / convert a trace to Chrome format",
+    )
+    p_obs.add_argument("metrics_file", nargs="?", default=None,
+                       help="metrics JSON written by --metrics")
+    p_obs.add_argument("--run", type=int, default=None,
+                       help="report only this run index")
+    p_obs.add_argument("--trace", default=None, metavar="FILE",
+                       help="JSONL trace to convert (with --chrome)")
+    p_obs.add_argument("--chrome", default=None, metavar="FILE",
+                       help="write a chrome://tracing JSON file from --trace")
+    p_obs.set_defaults(func=cmd_obs_report)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        # Library failures and file-system errors (unwritable --trace /
+        # --metrics / --output paths, unreadable inputs) are user
+        # errors, not crashes: one line on stderr, exit 2.
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,11 +46,40 @@ class AdmissionPlan:
 
 
 class Admitter:
-    """Claims virtual disks for displays against a :class:`SlotPool`."""
+    """Claims virtual disks for displays against a :class:`SlotPool`.
 
-    def __init__(self, pool: SlotPool, mode: AdmissionMode = AdmissionMode.FRAGMENTED):
+    Passing a :class:`repro.obs.RunObservation` as ``obs`` counts
+    claim attempts, lanes claimed, and completed claims; with the
+    default ``None`` the claim path is untouched.
+    """
+
+    def __init__(
+        self,
+        pool: SlotPool,
+        mode: AdmissionMode = AdmissionMode.FRAGMENTED,
+        obs=None,
+    ):
         self.pool = pool
         self.mode = mode
+        # Plain-int accumulators, published to the registry by a
+        # snapshot-time flusher (see RunObservation).  Lanes/completes
+        # count on the cold claim paths; attempts are batched in by
+        # the caller (:meth:`count_attempts`) so the per-call hot path
+        # carries no instrumentation at all.
+        self._n_attempts = 0
+        self._n_lanes = 0
+        self._n_complete = 0
+        if obs is not None:
+            registry = obs.registry
+            self._c_attempts = registry.counter("admission.claim_attempts")
+            self._c_lanes = registry.counter("admission.lanes_claimed")
+            self._c_complete = registry.counter("admission.claims_completed")
+            obs.add_flusher(self._flush_counters)
+
+    def _flush_counters(self) -> None:
+        self._c_attempts.value = float(self._n_attempts)
+        self._c_lanes.value = float(self._n_lanes)
+        self._c_complete.value = float(self._n_complete)
 
     def __repr__(self) -> str:
         return f"<Admitter mode={self.mode.value} pool={self.pool!r}>"
@@ -67,6 +96,11 @@ class Admitter:
             return self._claim_contiguous(display, interval)
         return self._claim_fragmented(display, interval)
 
+    def count_attempts(self, attempts: int) -> None:
+        """Batch-record ``attempts`` claim attempts (see the caller's
+        admission loop; keeps :meth:`try_claim` instrumentation-free)."""
+        self._n_attempts += attempts
+
     # ------------------------------------------------------------------
     # CONTIGUOUS: all-or-nothing, aligned window
     # ------------------------------------------------------------------
@@ -74,6 +108,7 @@ class Admitter:
         plan = AdmissionPlan(display=display)
         if display.fully_laned:
             plan.complete = True
+            self._n_complete += 1
             return plan
         pool = self.pool
         d = pool.num_disks
@@ -92,6 +127,10 @@ class Admitter:
             lane.ready = interval
             plan.claimed_now.append(slot)
         plan.complete = True
+        # Cold path (a successful whole-window claim): counting here
+        # keeps the try_claim hot path to a single accumulator add.
+        self._n_lanes += len(plan.claimed_now)
+        self._n_complete += 1
         return plan
 
     # ------------------------------------------------------------------
@@ -112,7 +151,11 @@ class Admitter:
                 lane.slot = slot
                 lane.ready = interval
                 plan.claimed_now.append(slot)
-        plan.complete = display.fully_laned
+        if plan.claimed_now:
+            self._n_lanes += len(plan.claimed_now)
+        if display.fully_laned:
+            plan.complete = True
+            self._n_complete += 1
         return plan
 
     # ------------------------------------------------------------------

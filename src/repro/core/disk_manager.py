@@ -154,6 +154,22 @@ class DiskManager:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def observe_interval(self, matrix, interval: int) -> None:
+        """Record this interval's per-*physical*-drive busy state.
+
+        ``matrix`` is a :class:`repro.obs.metrics.UtilizationMatrix`
+        with one device per drive.  Only busy virtual disks are
+        walked, so the cost scales with load, not array size.
+        """
+        matrix.mark_many(self.pool.busy_physical_disks(interval))
+        matrix.tick(float(interval))
+
+    def used_cylinder_profile(self) -> List[int]:
+        """Used cylinders per drive (index = drive number)."""
+        return [
+            self.array.used_cylinders(d) for d in range(self.array.num_disks)
+        ]
+
     def storage_report(self) -> Dict[str, float]:
         """Min/max/mean used cylinders across drives."""
         used = [self.array.used_cylinders(d) for d in range(self.array.num_disks)]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.admission import AdmissionMode, Admitter
@@ -94,6 +95,7 @@ class StaggeredStripingPolicy(StoragePolicy):
         half_slot_objects: bool = False,
         disk_bandwidth: Optional[float] = None,
         event_log=None,
+        obs=None,
     ) -> None:
         if queue_discipline not in ("scan", "fcfs", "sjf", "largest_first"):
             raise ConfigurationError(
@@ -108,11 +110,39 @@ class StaggeredStripingPolicy(StoragePolicy):
         self.disk_manager = disk_manager
         self.object_manager = object_manager
         self.tertiary_manager = tertiary_manager
-        self.admitter = Admitter(disk_manager.pool, mode=admission_mode)
+        self.admitter = Admitter(disk_manager.pool, mode=admission_mode, obs=obs)
         self.queue_discipline = queue_discipline
         self.half_slot_objects = half_slot_objects
         self.disk_bandwidth = disk_bandwidth
         self.event_log = event_log
+        # Telemetry (None → the advance path is byte-for-byte the
+        # uninstrumented one; see repro.obs).
+        self.obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_stride = obs.sample_stride
+            self._m_disk_busy = registry.utilization_matrix(
+                "disk.busy", disk_manager.num_disks,
+            )
+            self._m_queue_depth = registry.series("admission.queue_depth")
+            self._m_active = registry.series("displays.active")
+            self._m_staging = registry.series(
+                "buffers.staging_mbit", buffer="staging"
+            )
+            self._c_admitted = registry.counter("scheduler.admitted")
+            self._c_completed = registry.counter("scheduler.completed")
+            self._c_evictions = registry.counter("scheduler.evictions")
+            self._c_materializations = registry.counter(
+                "scheduler.materializations"
+            )
+            # All four mirror plain ints kept on the event paths;
+            # published to the registry at snapshot time.
+            obs.add_flusher(self._flush_counters)
+            # Instance-bound dispatch: the uninstrumented `advance`
+            # stays byte-for-byte the seed path and pays nothing off.
+            self.advance = self._advance_observed
+        self._n_admitted = 0
+        self._n_materializations = 0
 
         self._queue: List[_QueueEntry] = []
         self._active: Dict[int, Display] = {}
@@ -133,6 +163,12 @@ class StaggeredStripingPolicy(StoragePolicy):
         self._staging_memory = 0.0
         self.peak_staging_memory = 0.0
         self.fragmented_admissions = 0
+
+    def _flush_counters(self) -> None:
+        self._c_admitted.value = float(self._n_admitted)
+        self._c_completed.value = float(self.completed)
+        self._c_evictions.value = float(self.object_manager.evictions)
+        self._c_materializations.value = float(self._n_materializations)
 
     def __repr__(self) -> str:
         return (
@@ -177,6 +213,55 @@ class StaggeredStripingPolicy(StoragePolicy):
         self._admission_pass(interval)
         completions = self._process_completions(interval)
         self.queue_length_sum += len(self._queue)
+        return completions
+
+    def _advance_observed(self, interval: int) -> List[Completion]:
+        """The same interval pipeline with phase timers and metric
+        samples around each stage.
+
+        Scans and timers run on every ``sample_stride``-th interval
+        only; other intervals take the plain pipeline (event counters
+        stay exact — they live in the per-event hooks, not here).
+        """
+        obs = self.obs
+        self.intervals_advanced += 1
+        if interval % self._obs_stride:
+            self._process_lane_releases(interval)
+            self._process_tertiary(interval)
+            self._retry_deferred_placements(interval)
+            self._admission_pass(interval)
+            completions = self._process_completions(interval)
+            self.queue_length_sum += len(self._queue)
+            return completions
+        profiler = obs.profiler
+        t0 = perf_counter()
+        self._process_lane_releases(interval)
+        t1 = perf_counter()
+        profiler.add("scheduler.lane_releases", t1 - t0)
+        self._process_tertiary(interval)
+        t2 = perf_counter()
+        profiler.add("scheduler.tertiary", t2 - t1)
+        self._retry_deferred_placements(interval)
+        self._admission_pass(interval)
+        t3 = perf_counter()
+        profiler.add("scheduler.admission", t3 - t2)
+        completions = self._process_completions(interval)
+        t4 = perf_counter()
+        profiler.add("scheduler.completions", t4 - t3)
+        self.queue_length_sum += len(self._queue)
+        t = float(interval)
+        self._m_queue_depth.record(t, float(len(self._queue)))
+        self._m_active.record(t, float(len(self._active)))
+        self._m_staging.record(t, self._staging_memory)
+        self.disk_manager.observe_interval(self._m_disk_busy, interval)
+        if self.tertiary_manager is not None:
+            self.tertiary_manager.observe_sample(interval)
+        if obs.tracer is not None:
+            obs.tracer.counter(
+                "scheduler.load", t,
+                queued=len(self._queue), active=len(self._active),
+            )
+        profiler.add("scheduler.observe", perf_counter() - t4)
         return completions
 
     def pending_count(self) -> int:
@@ -295,6 +380,11 @@ class StaggeredStripingPolicy(StoragePolicy):
             self.disk_manager.evict_object(victim)
             if self.event_log is not None:
                 self.event_log.record(interval, "evict", object=victim)
+            if self.obs is not None and self.obs.tracer is not None:
+                self.obs.tracer.instant(
+                    "scheduler", "evict", float(interval),
+                    object=victim, track="scheduler",
+                )
         if not fits:
             return False
         self.object_manager.reserve(obj.object_id)
@@ -304,6 +394,7 @@ class StaggeredStripingPolicy(StoragePolicy):
             self.event_log.record(
                 interval, "materialize_start", object=obj.object_id
             )
+        self._n_materializations += 1
         return True
 
     def _retry_deferred_placements(self, interval: int) -> None:
@@ -349,6 +440,7 @@ class StaggeredStripingPolicy(StoragePolicy):
     def _admission_pass(self, interval: int) -> None:
         admitted: Set[int] = set()
         blocked = False
+        attempts = 0
         budget = self._claim_budget()
         for entry in self._scan_order():
             if blocked:
@@ -371,12 +463,17 @@ class StaggeredStripingPolicy(StoragePolicy):
                     budget -= obj.degree
                 start = self.disk_manager.start_disk(entry.request.object_id)
                 entry.display = self._new_display(obj, start, entry.request)
+            attempts += 1
             plan = self.admitter.try_claim(entry.display, interval)
             if plan.complete:
                 self._activate(entry.display)
                 admitted.add(id(entry))
             elif self.queue_discipline == "fcfs":
                 blocked = True
+        if attempts and self.obs is not None:
+            # Batched once per pass; a local add per attempt keeps the
+            # claim loop free of per-call instrument traffic.
+            self.admitter.count_attempts(attempts)
         if admitted:
             # The stored queue keeps arrival order regardless of the
             # walk order the discipline used.
@@ -449,6 +546,15 @@ class StaggeredStripingPolicy(StoragePolicy):
                 object=display.obj.object_id,
                 latency=display.startup_latency_intervals,
             )
+        self._n_admitted += 1
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.instant(
+                "scheduler", "admit", float(display.deliver_start),
+                display=display.display_id,
+                object=display.obj.object_id,
+                latency=display.startup_latency_intervals,
+                track="scheduler",
+            )
         demand = display.buffer_demand()
         if demand > 0:
             self.fragmented_admissions += 1
@@ -487,6 +593,17 @@ class StaggeredStripingPolicy(StoragePolicy):
                     "complete",
                     display=display_id,
                     object=request.object_id,
+                )
+            if self.obs is not None and self.obs.tracer is not None:
+                # One complete ("X") span per display: request to
+                # final delivery, on the displays track.
+                self.obs.tracer.complete(
+                    "display", f"display-{display_id}",
+                    float(display.deliver_start),
+                    dur=float(
+                        display.finish_interval - display.deliver_start + 1
+                    ),
+                    object=request.object_id, track="displays",
                 )
             completions.append(
                 Completion(

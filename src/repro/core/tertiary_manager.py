@@ -46,6 +46,7 @@ class TertiaryManager:
         tape_layout: TapeLayout,
         interval_length: float,
         disk_bandwidth: float,
+        obs=None,
     ) -> None:
         if interval_length <= 0:
             raise ConfigurationError(
@@ -65,6 +66,29 @@ class TertiaryManager:
         self.busy_intervals = 0
         self.queueing_delay_intervals = Tally(name="tertiary.queueing")
         self._enqueued_at: Dict[int, int] = {}
+        # Telemetry (None → zero cost; see repro.obs).
+        self.obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_queue_depth = registry.series(
+                "tertiary.queue_depth", device="tertiary"
+            )
+            self._m_busy = registry.counter(
+                "tertiary.busy_intervals", device="tertiary"
+            )
+            self._m_completed = registry.counter(
+                "tertiary.completed", device="tertiary"
+            )
+            self._m_delay = registry.tally(
+                "tertiary.queueing_delay_intervals", device="tertiary"
+            )
+            # busy/completed mirror plain ints already kept on the
+            # per-interval path; publish them at snapshot time.
+            obs.add_flusher(self._flush_counters)
+
+    def _flush_counters(self) -> None:
+        self._m_busy.value = float(self.busy_intervals)
+        self._m_completed.value = float(self.completed)
 
     def __repr__(self) -> str:
         current = self._current.obj.object_id if self._current else None
@@ -113,6 +137,7 @@ class TertiaryManager:
         Returns object ids whose materialisation completed this
         interval.
         """
+        obs = self.obs
         finished: List[int] = []
         job = self._current
         if job is not None:
@@ -122,6 +147,11 @@ class TertiaryManager:
                 job.release(pool)
                 finished.append(job.obj.object_id)
                 self.completed += 1
+                if obs is not None and obs.tracer is not None:
+                    obs.tracer.instant(
+                        "tertiary", "materialize_done", float(interval),
+                        object=job.obj.object_id, track="tertiary",
+                    )
                 self._current = None
                 job = None
             else:
@@ -133,7 +163,23 @@ class TertiaryManager:
             self.queueing_delay_intervals.record(delay)
             self._current = self._start_job(obj, start_disk_of(obj.object_id), interval)
             self._current.try_claim(pool, interval)
+            if obs is not None:
+                self._m_delay.record(delay)
+                if obs.tracer is not None:
+                    obs.tracer.instant(
+                        "tertiary", "materialize_begin", float(interval),
+                        object=obj.object_id, queued_for=delay,
+                        track="tertiary",
+                    )
         return finished
+
+    def observe_sample(self, interval: int) -> None:
+        """Record the queue-depth sample (called by the scheduler on
+        its sampled intervals; obs enabled only)."""
+        self._m_queue_depth.record(
+            float(interval),
+            len(self._queue) + (1 if self._current is not None else 0),
+        )
 
     def _start_job(
         self, obj: MediaObject, start_disk: int, interval: int

@@ -136,6 +136,22 @@ class SlotPool:
         """All fully free slots, ascending."""
         return [z for z in range(self.num_disks) if z not in self._owners]
 
+    def busy_slots(self) -> List[int]:
+        """Slots with at least one claimed half (unsorted)."""
+        return list(self._owners)
+
+    def busy_physical_disks(self, interval: int) -> List[int]:
+        """Physical drives under the busy slots at ``interval``.
+
+        Equivalent to ``[self.physical_of(z, interval) for z in
+        self.busy_slots()]`` with the rotation arithmetic hoisted out
+        of the loop — this sits on the telemetry hot path (once per
+        interval per busy slot).
+        """
+        d = self.num_disks
+        offset = (self.stride * interval) % d
+        return [(slot + offset) % d for slot in self._owners]
+
     def slots_of(self, owner: Hashable) -> List[int]:
         """Slots in which ``owner`` holds at least one half."""
         return [z for z, owners in self._owners.items() if owner in owners]

@@ -52,11 +52,16 @@ def scaled_stations(scale: int = 10) -> List[int]:
 
 
 def run_point(
-    config: SimulationConfig, technique: str, mean: float, stations: int
+    config: SimulationConfig,
+    technique: str,
+    mean: float,
+    stations: int,
+    obs=None,
 ) -> Figure8Point:
     """Run one (technique, mean, stations) cell."""
     result = run_experiment(
-        config.with_(technique=technique, access_mean=mean, num_stations=stations)
+        config.with_(technique=technique, access_mean=mean, num_stations=stations),
+        obs=obs,
     )
     stats = result.policy_stats
     return Figure8Point(
@@ -75,6 +80,7 @@ def run_figure8(
     stations: Optional[Sequence[int]] = None,
     means: Optional[Sequence[float]] = None,
     techniques: Sequence[str] = ("simple", "vdr"),
+    obs=None,
 ) -> Dict[float, List[Figure8Point]]:
     """All curves, grouped by access mean."""
     config = base_config(scale)
@@ -85,7 +91,7 @@ def run_figure8(
         points: List[Figure8Point] = []
         for technique in techniques:
             for count in stations:
-                points.append(run_point(config, technique, mean, count))
+                points.append(run_point(config, technique, mean, count, obs=obs))
         curves[mean] = points
     return curves
 

@@ -48,6 +48,7 @@ def run_table4(
     stations: Optional[Sequence[int]] = None,
     means: Optional[Sequence[float]] = None,
     config: Optional[SimulationConfig] = None,
+    obs=None,
 ) -> List[Dict]:
     """One row per station count; one improvement column per mean."""
     config = config if config is not None else base_config(scale)
@@ -57,8 +58,8 @@ def run_table4(
     for count in stations:
         row: Dict = {"stations": count}
         for mean in means:
-            striping = run_point(config, "simple", mean, count)
-            vdr = run_point(config, "vdr", mean, count)
+            striping = run_point(config, "simple", mean, count, obs=obs)
+            vdr = run_point(config, "vdr", mean, count, obs=obs)
             if vdr.throughput_per_hour > 0:
                 improvement = (
                     striping.throughput_per_hour / vdr.throughput_per_hour - 1.0

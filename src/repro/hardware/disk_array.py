@@ -79,6 +79,12 @@ class DiskArray:
         """Cylinders currently occupied on drive ``disk``."""
         return self.disks[disk].used_cylinders
 
+    def observe_storage(self, registry, prefix: str = "disk.storage_cylinders") -> None:
+        """Record per-drive used cylinders into a
+        :class:`repro.obs.metrics.MetricsRegistry` gauge family."""
+        for disk in self.disks:
+            registry.gauge(prefix, disk=disk.index).set(disk.used_cylinders)
+
     def free_cylinders(self, disk: int) -> float:
         """Cylinders still free on drive ``disk``."""
         return self.model.num_cylinders - self.disks[disk].used_cylinders

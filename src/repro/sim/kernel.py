@@ -126,11 +126,19 @@ class Process:
         self.alive = False
         self.result = result
         self.gen.close()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.end("process", self.name, self.sim.now, track=self.name)
         self.done_event.fire(result)
 
     def _dispatch(self, command: Any) -> None:
         sim = self.sim
         if isinstance(command, Hold):
+            if sim.tracer is not None:
+                sim.tracer.instant(
+                    "hold", self.name, sim.now,
+                    delay=command.delay, track=self.name,
+                )
             sim.schedule(command.delay, self.resume, None)
         elif isinstance(command, Wait):
             self._block_on(command.event)
@@ -161,10 +169,17 @@ class Simulation:
     argument)`` entries.  The sequence number makes scheduling stable:
     two callbacks scheduled for the same instant run in the order they
     were scheduled.
+
+    Passing a :class:`repro.obs.trace.Tracer` (or assigning
+    :attr:`tracer` later) records process starts/stops, holds, and
+    facility queueing as structured trace events; when ``tracer`` is
+    ``None`` (the default) the kernel pays one attribute test per
+    dispatch and nothing more.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
+        self.tracer = tracer
         self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
         self._sequence = 0
         self._process_count = 0
@@ -200,6 +215,8 @@ class Simulation:
             )
         self._process_count += 1
         proc = Process(self, gen, name or f"process-{self._process_count}")  # type: ignore[arg-type]
+        if self.tracer is not None:
+            self.tracer.begin("process", proc.name, self.now, track=proc.name)
         self.schedule(0.0, proc.resume, None)
         return proc
 

@@ -1,176 +1,34 @@
 """Statistics collectors for simulations.
 
-Two collectors cover the usual needs:
+The canonical implementations live in :mod:`repro.obs.metrics`; this
+module re-exports them with the historical simulation-flavoured API so
+existing code and tests keep working:
 
 * :class:`Tally` — observation-weighted statistics (mean, variance,
   min/max, count) over discrete samples such as response times.
 * :class:`TimeWeighted` — time-weighted statistics over a piecewise
-  constant signal such as queue length or the number of busy servers.
+  constant signal such as queue length; this variant binds its clock
+  to a :class:`~repro.sim.kernel.Simulation` (``TimeWeighted(sim)``)
+  rather than taking a clock callable.
+* :class:`Histogram` — fixed-bin response-time histogram.
 """
 
 from __future__ import annotations
 
-import math
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import Histogram, Tally
+from repro.obs.metrics import TimeWeighted as _TimeWeighted
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulation
 
-
-class Tally:
-    """Streaming sample statistics (Welford's algorithm)."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name or "tally"
-        self.count = 0
-        self.total = 0.0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
-
-    def __repr__(self) -> str:
-        return f"<Tally {self.name} n={self.count} mean={self.mean:.6g}>"
-
-    def record(self, value: float) -> None:
-        """Add one observation."""
-        self.count += 1
-        self.total += value
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        """Sample mean (0.0 when no observations)."""
-        return self._mean if self.count else 0.0
-
-    @property
-    def variance(self) -> float:
-        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
-        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
-
-    @property
-    def stddev(self) -> float:
-        """Sample standard deviation."""
-        return math.sqrt(self.variance)
-
-    def reset(self) -> None:
-        """Discard all observations."""
-        self.count = 0
-        self.total = 0.0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
+__all__ = ["Histogram", "Tally", "TimeWeighted"]
 
 
-class TimeWeighted:
-    """Time-weighted statistics of a piecewise-constant signal.
-
-    Call :meth:`record` every time the signal changes level; the mean
-    weights each level by how long it persisted.
-    """
+class TimeWeighted(_TimeWeighted):
+    """:class:`repro.obs.metrics.TimeWeighted` bound to a simulation clock."""
 
     def __init__(self, sim: "Simulation", name: str = "", initial: float = 0.0) -> None:
         self.sim = sim
-        self.name = name or "timeweighted"
-        self.level = initial
-        self._area = 0.0
-        self._last_change = sim.now
-        self._start = sim.now
-        self.minimum = initial
-        self.maximum = initial
-
-    def __repr__(self) -> str:
-        return f"<TimeWeighted {self.name} level={self.level:.6g} mean={self.mean:.6g}>"
-
-    def record(self, level: float) -> None:
-        """The signal changes to ``level`` at the current sim time."""
-        now = self.sim.now
-        self._area += self.level * (now - self._last_change)
-        self._last_change = now
-        self.level = level
-        if level < self.minimum:
-            self.minimum = level
-        if level > self.maximum:
-            self.maximum = level
-
-    @property
-    def elapsed(self) -> float:
-        """Total observation window so far."""
-        return self.sim.now - self._start
-
-    @property
-    def mean(self) -> float:
-        """Time-weighted mean of the signal over the window."""
-        elapsed = self.elapsed
-        if elapsed <= 0:
-            return self.level
-        area = self._area + self.level * (self.sim.now - self._last_change)
-        return area / elapsed
-
-    def reset(self) -> None:
-        """Restart the observation window at the current level."""
-        self._area = 0.0
-        self._last_change = self.sim.now
-        self._start = self.sim.now
-        self.minimum = self.level
-        self.maximum = self.level
-
-
-class Histogram:
-    """A fixed-bin histogram for response-time distributions."""
-
-    def __init__(
-        self, low: float, high: float, bins: int = 20, name: str = ""
-    ) -> None:
-        if bins < 1:
-            raise ValueError(f"histogram needs >= 1 bin, got {bins}")
-        if not high > low:
-            raise ValueError(f"histogram needs high > low, got [{low}, {high}]")
-        self.name = name or "histogram"
-        self.low = low
-        self.high = high
-        self.bins = bins
-        self.counts: List[int] = [0] * bins
-        self.underflow = 0
-        self.overflow = 0
-        self.tally = Tally(name=f"{self.name}.tally")
-
-    def record(self, value: float) -> None:
-        """Add one observation to the appropriate bin."""
-        self.tally.record(value)
-        if value < self.low:
-            self.underflow += 1
-        elif value >= self.high:
-            self.overflow += 1
-        else:
-            width = (self.high - self.low) / self.bins
-            self.counts[int((value - self.low) / width)] += 1
-
-    @property
-    def count(self) -> int:
-        """Total observations including under/overflow."""
-        return self.tally.count
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Approximate quantile from bin midpoints (None when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return None
-        target = q * self.count
-        seen = float(self.underflow)
-        if seen >= target:
-            return self.low
-        width = (self.high - self.low) / self.bins
-        for i, bucket in enumerate(self.counts):
-            seen += bucket
-            if seen >= target:
-                return self.low + (i + 0.5) * width
-        return self.high
+        super().__init__(clock=lambda: sim.now, name=name, initial=initial)

@@ -93,11 +93,22 @@ class Facility:
         """Return a request command for a process to ``yield``."""
         return FacilityRequest(self)
 
+    def _trace(self, action: str, **args) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "facility", f"{self.name}.{action}", self.sim.now,
+                busy=self.busy, queued=len(self._queue), track=self.name,
+                **args,
+            )
+
     def try_acquire(self) -> bool:
         """Non-blocking acquire; returns True when a server was claimed."""
         if self.busy < self.capacity:
             self.busy += 1
             self.utilization.record(self.busy)
+            if self.sim.tracer is not None:
+                self._trace("acquire")
             return True
         return False
 
@@ -109,20 +120,28 @@ class Facility:
             request = self._queue.popleft()
             self.queue_length.record(len(self._queue))
             self.delay.record(self.sim.now - request.issued_at)
+            if self.sim.tracer is not None:
+                self._trace("acquire", waited=self.sim.now - request.issued_at)
             request._grant(self)
         else:
             self.busy -= 1
             self.utilization.record(self.busy)
+            if self.sim.tracer is not None:
+                self._trace("release")
 
     def _arrive(self, request: FacilityRequest) -> None:
         if self.busy < self.capacity:
             self.busy += 1
             self.utilization.record(self.busy)
             self.delay.record(0.0)
+            if self.sim.tracer is not None:
+                self._trace("acquire")
             request._grant(self)
         else:
             self._queue.append(request)
             self.queue_length.record(len(self._queue))
+            if self.sim.tracer is not None:
+                self._trace("queue")
 
 
 class StoreGet(_Request):

@@ -31,6 +31,7 @@ class DESEngine:
         interval_length: float,
         technique: str = "",
         access_mean: Optional[float] = None,
+        obs=None,
     ) -> None:
         if interval_length <= 0:
             raise ConfigurationError(
@@ -41,7 +42,8 @@ class DESEngine:
         self.interval_length = interval_length
         self.technique = technique
         self.access_mean = access_mean
-        self.sim = Simulation()
+        self.obs = obs
+        self.sim = Simulation(tracer=obs.tracer if obs is not None else None)
         self.interval = 0
         self._completions_this_interval: List[Completion] = []
 

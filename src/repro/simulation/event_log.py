@@ -4,15 +4,20 @@ Optional (off by default — the hot path never pays for it): pass an
 :class:`EventLog` to a policy and it records admissions, completions,
 evictions, materialisations, and replications as typed entries that
 tests and post-mortem analysis can query.
+
+The retention machinery (bounded deque + drop accounting) is the
+shared :class:`repro.obs.trace.BoundedLog`; entries also convert to
+:class:`repro.obs.trace.TraceEvent` records so a captured log can be
+exported alongside a kernel trace.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import BoundedLog, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -26,6 +31,16 @@ class LogEntry:
     def __str__(self) -> str:
         detail = " ".join(f"{k}={v}" for k, v in self.details.items())
         return f"[{self.interval}] {self.kind} {detail}".rstrip()
+
+    def to_trace_event(self) -> TraceEvent:
+        """The entry as a structured trace event (time = interval)."""
+        return TraceEvent(
+            t=float(self.interval),
+            kind="scheduler",
+            name=self.kind,
+            ph="i",
+            args={"track": "scheduler", **self.details},
+        )
 
 
 class EventLog:
@@ -49,10 +64,7 @@ class EventLog:
     )
 
     def __init__(self, capacity: Optional[int] = 100_000) -> None:
-        if capacity is not None and capacity < 1:
-            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
-        self._entries: Deque[LogEntry] = deque(maxlen=capacity)
-        self.dropped = 0
+        self._entries: BoundedLog[LogEntry] = BoundedLog(capacity)
         self._capacity = capacity
 
     def __len__(self) -> int:
@@ -61,15 +73,15 @@ class EventLog:
     def __iter__(self) -> Iterator[LogEntry]:
         return iter(self._entries)
 
+    @property
+    def dropped(self) -> int:
+        """Entries discarded because the log was full."""
+        return self._entries.dropped
+
     def record(self, interval: int, kind: str, **details) -> None:
         """Append one event."""
         if kind not in self.KINDS:
             raise ConfigurationError(f"unknown event kind {kind!r}")
-        if (
-            self._capacity is not None
-            and len(self._entries) == self._capacity
-        ):
-            self.dropped += 1
         self._entries.append(LogEntry(interval=interval, kind=kind,
                                       details=details))
 
@@ -90,4 +102,8 @@ class EventLog:
 
     def tail(self, count: int = 20) -> List[LogEntry]:
         """The most recent ``count`` entries."""
-        return list(self._entries)[-count:]
+        return self._entries.tail(count)
+
+    def to_trace_events(self) -> List[TraceEvent]:
+        """Every retained entry as a trace event, oldest first."""
+        return [entry.to_trace_event() for entry in self._entries]

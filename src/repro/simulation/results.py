@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.simulation.policy import Completion
@@ -15,6 +15,12 @@ class SimulationResult:
 
     Throughput is reported in **displays per hour**, the paper's
     Figure 8 / Table 4 metric.
+
+    When the run was observed (``repro.obs``), :attr:`profile` holds
+    the wall-clock phase totals and :attr:`observation` the full
+    telemetry snapshot.  Both are deliberately excluded from
+    :meth:`summary` so result rows stay byte-identical whether or not
+    telemetry was enabled (wall-clock numbers are nondeterministic).
     """
 
     technique: str
@@ -31,6 +37,9 @@ class SimulationResult:
     concurrency_max: int = 0
     busy_fraction_sum: float = 0.0
     samples: int = 0
+    # Telemetry (populated only when the run was observed).
+    profile: Dict[str, float] = field(default_factory=dict)
+    observation: Optional[Dict[str, Any]] = None
 
     @property
     def measure_seconds(self) -> float:

@@ -55,8 +55,14 @@ def build_access(
     return GeometricAccess(catalog.object_ids, config.access_mean, stream)
 
 
-def build_policy(config: SimulationConfig, catalog: Catalog) -> StoragePolicy:
-    """The configured storage policy, fully wired."""
+def build_policy(
+    config: SimulationConfig, catalog: Catalog, obs=None
+) -> StoragePolicy:
+    """The configured storage policy, fully wired.
+
+    ``obs`` is an optional :class:`repro.obs.RunObservation`; when set
+    the policy and its managers register telemetry instruments.
+    """
     device = TertiaryDevice(
         bandwidth=config.tertiary_bandwidth,
         reposition_time=config.tertiary_reposition,
@@ -84,6 +90,7 @@ def build_policy(config: SimulationConfig, catalog: Catalog) -> StoragePolicy:
             interval_length=config.interval_length,
             replication_threshold=config.replication_threshold,
             replication_source=config.replication_source,
+            obs=obs,
         )
     array = DiskArray(model=config.disk, num_disks=config.num_disks)
     # Simple striping places at cluster boundaries; the degenerate
@@ -115,6 +122,7 @@ def build_policy(config: SimulationConfig, catalog: Catalog) -> StoragePolicy:
         tape_layout=tape,
         interval_length=config.interval_length,
         disk_bandwidth=config.disk_bandwidth,
+        obs=obs,
     )
     mode = (
         AdmissionMode.CONTIGUOUS
@@ -128,6 +136,7 @@ def build_policy(config: SimulationConfig, catalog: Catalog) -> StoragePolicy:
         tertiary_manager=tertiary_manager,
         admission_mode=mode,
         queue_discipline=config.queue_discipline,
+        obs=obs,
     )
 
 
@@ -148,12 +157,12 @@ def preload_ids(config: SimulationConfig, access: AccessDistribution) -> List[in
     return ranking[:limit]
 
 
-def build_engine(config: SimulationConfig) -> IntervalEngine:
+def build_engine(config: SimulationConfig, obs=None) -> IntervalEngine:
     """Assemble the full system for one run."""
     catalog = build_catalog(config)
     stream = RandomStream(seed=config.seed)
     access = build_access(config, catalog, stream.fork(1))
-    policy = build_policy(config, catalog)
+    policy = build_policy(config, catalog, obs=obs)
     if config.preload:
         policy.preload(preload_ids(config, access))
     stations = StationPool(
@@ -167,22 +176,45 @@ def build_engine(config: SimulationConfig) -> IntervalEngine:
         interval_length=config.interval_length,
         technique=config.technique,
         access_mean=config.access_mean,
+        obs=obs,
     )
 
 
-def run_experiment(config: SimulationConfig) -> SimulationResult:
-    """Run one configuration to completion."""
-    engine = build_engine(config)
-    return engine.run(config.warmup_intervals, config.measure_intervals)
+def run_experiment(config: SimulationConfig, obs=None) -> SimulationResult:
+    """Run one configuration to completion.
+
+    ``obs`` is an optional session-level
+    :class:`repro.obs.Observability`; when enabled, a fresh
+    per-run observation is opened, wired through the whole build, and
+    its snapshot attached to the result.
+    """
+    run_obs = None
+    if obs is not None:
+        run_obs = obs.begin_run(
+            config.describe(),
+            expected_intervals=config.warmup_intervals
+            + config.measure_intervals,
+        )
+    engine = build_engine(config, obs=run_obs)
+    result = engine.run(config.warmup_intervals, config.measure_intervals)
+    if run_obs is not None:
+        disk_manager = getattr(engine.policy, "disk_manager", None)
+        if disk_manager is not None:
+            disk_manager.array.observe_storage(run_obs.registry)
+        obs.finish_run(run_obs, result)
+    return result
 
 
 def run_sweep(
-    base: SimulationConfig, field: str, values: Sequence
+    base: SimulationConfig, field: str, values: Sequence, obs=None
 ) -> List[SimulationResult]:
     """Run ``base`` once per value of ``field``."""
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    return [run_experiment(base.with_(**{field: value})) for value in values]
+    return [
+        run_experiment(base.with_(**{field: value}), obs=obs)
+        for value in values
+    ]
 
 
 def sweep_table(results: Iterable[SimulationResult]) -> List[Dict[str, float]]:

@@ -96,6 +96,11 @@ class ClusterArray:
     def __len__(self) -> int:
         return len(self.clusters)
 
+    @property
+    def num_disks(self) -> int:
+        """Total physical drives across all clusters (``R × M``)."""
+        return len(self.clusters) * self.degree
+
     # ------------------------------------------------------------------
     # Copy directory
     # ------------------------------------------------------------------

@@ -66,6 +66,7 @@ class VirtualReplicationPolicy(StoragePolicy):
         replication_threshold: int = 1,
         replication_source: str = "stream",
         event_log=None,
+        obs=None,
     ) -> None:
         if interval_length <= 0:
             raise ConfigurationError(
@@ -109,6 +110,35 @@ class VirtualReplicationPolicy(StoragePolicy):
         self.materializations = 0
         self.hits = 0
         self.misses = 0
+        # Telemetry (None → zero cost; see repro.obs).  The per-disk
+        # busy matrix expands each busy physical cluster to its M
+        # member drives so VDR runs report the same per-disk
+        # utilization view as staggered striping.
+        self.obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_stride = obs.sample_stride
+            self._m_disk_busy = registry.utilization_matrix(
+                "disk.busy", clusters.num_disks
+            )
+            self._m_queue_depth = registry.series("admission.queue_depth")
+            self._m_active = registry.series("displays.active")
+            self._m_tertiary_depth = registry.series(
+                "tertiary.queue_depth", device="tertiary"
+            )
+            self._c_completed = registry.counter("scheduler.completed")
+            self._c_replicas = registry.counter("scheduler.replicas_created")
+            self._c_materializations = registry.counter(
+                "scheduler.materializations"
+            )
+            # All three mirror plain ints kept on the event paths;
+            # published to the registry at snapshot time.
+            obs.add_flusher(self._flush_counters)
+
+    def _flush_counters(self) -> None:
+        self._c_completed.value = float(self.completed)
+        self._c_replicas.value = float(self.replication.replicas_created)
+        self._c_materializations.value = float(self.materializations)
 
     def __repr__(self) -> str:
         return (
@@ -155,7 +185,42 @@ class VirtualReplicationPolicy(StoragePolicy):
         if interval < self._tertiary_busy_until:
             self.tertiary_busy_intervals += 1
         self.queue_length_sum += len(self._queue)
+        if self.obs is not None and interval % self._obs_stride == 0:
+            self._observe_interval(interval)
         return completions
+
+    def _observe_interval(self, interval: int) -> None:
+        """Sampled-interval telemetry (obs enabled only).
+
+        Runs every ``sample_stride`` intervals so the cluster scan and
+        depth samples amortise on long runs; counters stay exact via
+        the snapshot-time flusher.
+        """
+        obs = self.obs
+        t = float(interval)
+        degree = self.clusters.degree
+        active = 0
+        busy_disks: List[int] = []
+        for index, cluster in enumerate(self.clusters.clusters):
+            if cluster.activity is not None:
+                if cluster.activity == "display":
+                    active += 1
+                first = index * degree
+                busy_disks.extend(range(first, first + degree))
+        self._m_disk_busy.mark_many(busy_disks)
+        self._m_disk_busy.tick(t)
+        self._m_queue_depth.record(t, float(len(self._queue)))
+        self._m_active.record(t, float(active))
+        self._m_tertiary_depth.record(
+            t,
+            len(self._mat_queue)
+            + (1 if interval < self._tertiary_busy_until else 0),
+        )
+        if obs.tracer is not None:
+            obs.tracer.counter(
+                "scheduler.load", t,
+                queued=len(self._queue), active=active,
+            )
 
     def pending_count(self) -> int:
         """Queued requests plus active displays."""
