@@ -1,0 +1,107 @@
+"""Bench for the sweep executor: parallel fan-out and the result cache.
+
+Runs the scale-50 Figure 8 grid three ways — serial cold, parallel
+cold (4 workers), and warm-cache — and records the wall-clock of each
+into ``BENCH_sweep_parallel.json`` together with the machine's CPU
+count.  The contracts asserted here:
+
+* all three executions produce **byte-identical** result rows;
+* a warm cache serves the sweep at least 2.5x faster than simulating;
+* with >= 4 CPUs, 4 workers beat serial by at least 2.5x (on smaller
+  machines the speedup is recorded but not asserted — a 1-CPU CI box
+  cannot parallelise anything).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import emit
+from repro.exec import ResultCache, canonical_json
+from repro.experiments.figure8 import figure8_rows, run_figure8
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep_parallel.json"
+
+SCALE = 50
+JOBS = 4
+
+
+def _grid(jobs: int, cache=None):
+    start = perf_counter()
+    curves = run_figure8(scale=SCALE, jobs=jobs, cache=cache)
+    return perf_counter() - start, figure8_rows(curves)
+
+
+def test_sweep_parallel(benchmark, tmp_path):
+    def measure():
+        _grid(1)  # warm code paths and the catalog memo
+        serial_s, serial_rows = _grid(1)
+        parallel_s, parallel_rows = _grid(JOBS)
+        cache = ResultCache(tmp_path / "cache")
+        _grid(JOBS, cache=cache)
+        warm_s, warm_rows = _grid(JOBS, cache=cache)
+        return {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "warm_s": warm_s,
+            "rows": {"serial": serial_rows, "parallel": parallel_rows,
+                     "warm": warm_rows},
+        }
+
+    t = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The executor's hard contract: strategy never changes the rows.
+    serial = canonical_json(t["rows"]["serial"])
+    assert canonical_json(t["rows"]["parallel"]) == serial
+    assert canonical_json(t["rows"]["warm"]) == serial
+
+    cpus = os.cpu_count() or 1
+    parallel_speedup = t["serial_s"] / t["parallel_s"]
+    cache_speedup = t["serial_s"] / t["warm_s"]
+    rows = [
+        {
+            "execution": "serial cold",
+            "jobs": 1,
+            "seconds": round(t["serial_s"], 4),
+            "speedup_vs_serial": 1.0,
+        },
+        {
+            "execution": "parallel cold",
+            "jobs": JOBS,
+            "seconds": round(t["parallel_s"], 4),
+            "speedup_vs_serial": round(parallel_speedup, 2),
+        },
+        {
+            "execution": "warm cache",
+            "jobs": JOBS,
+            "seconds": round(t["warm_s"], 4),
+            "speedup_vs_serial": round(cache_speedup, 2),
+        },
+    ]
+    emit(f"Figure 8 grid (scale {SCALE}) by execution strategy", rows)
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "cpu_count": cpus,
+                "grid_runs": len(t["rows"]["serial"]),
+                "rows_byte_identical": True,
+                "parallel_speedup": round(parallel_speedup, 2),
+                "cache_speedup": round(cache_speedup, 2),
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert cache_speedup >= 2.5, (
+        f"warm cache only {cache_speedup:.2f}x faster (contract: >= 2.5x)"
+    )
+    if cpus >= JOBS:
+        assert parallel_speedup >= 2.5, (
+            f"{JOBS} workers only {parallel_speedup:.2f}x faster on "
+            f"{cpus} CPUs (contract: >= 2.5x)"
+        )

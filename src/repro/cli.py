@@ -2,18 +2,21 @@
 
 Commands
 --------
-``info``        derived quantities of a configuration (Table 3 arithmetic)
-``run``         one experiment (technique × stations × skew)
-``sweep``       a station sweep for one technique
-``figure8``     the Figure 8 grid (both techniques, all skews)
-``table4``      the Table 4 improvement matrix
-``obs-report``  summarise a ``--metrics`` file (or convert a trace)
+``info``          derived quantities of a configuration (Table 3 arithmetic)
+``run``           one experiment (technique × stations × skew)
+``sweep``         a station sweep for one technique
+``figure8``       the Figure 8 grid (both techniques, all skews)
+``table4``        the Table 4 improvement matrix
+``sweep-status``  summarise the on-disk result cache
+``obs-report``    summarise a ``--metrics`` file (or convert a trace)
 
 All simulation commands accept ``--scale`` (1 = the paper's full
 parameters) and ``--output FILE.csv|FILE.json`` to export the rows,
-plus the telemetry flags ``--obs-level {off,metrics,trace}``,
-``--metrics FILE.json`` and ``--trace FILE.jsonl`` (see
-docs/observability.md).
+the execution flags ``--jobs N`` (worker processes), ``--cache-dir
+DIR`` and ``--no-cache`` (content-addressed result cache, see
+docs/parallel_execution.md), plus the telemetry flags ``--obs-level
+{off,metrics,trace}``, ``--metrics FILE.json`` and ``--trace
+FILE.jsonl`` (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -24,6 +27,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.errors import ReproError
+from repro.exec import (
+    ResultCache,
+    cache_status_rows,
+    execute,
+    experiment_spec,
+    records_to_results,
+    resolve_cache_dir,
+)
 from repro.experiments.figure8 import (
     base_config,
     figure8_rows,
@@ -36,7 +47,7 @@ from repro.obs import Observability, convert_jsonl_to_chrome
 from repro.obs.report import format_report, load_metrics
 from repro.simulation.config import SimulationConfig
 from repro.simulation.export import write_csv, write_json
-from repro.simulation.runner import run_experiment, run_sweep, sweep_table
+from repro.simulation.runner import run_sweep, sweep_table
 
 
 def _output_path(value: str) -> str:
@@ -55,6 +66,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--output", type=_output_path, default=None,
                         help="export rows to FILE.csv or FILE.json")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep runs (default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache for this invocation")
     parser.add_argument("--obs-level", default="off",
                         choices=["off", "metrics", "trace"],
                         help="telemetry level (default: off, zero overhead)")
@@ -64,6 +82,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="stream a JSONL event trace (implies "
                              "--obs-level trace)")
+
+
+def _cache(args) -> Optional[ResultCache]:
+    """The result cache for this invocation, or ``None`` with --no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
 
 
 def _observability(args) -> Optional[Observability]:
@@ -156,7 +181,12 @@ def cmd_run(args) -> int:
     config = _config(args)
     print(f"running: {config.describe()}")
     obs = _observability(args)
-    result = run_experiment(config, obs=obs)
+    records = execute(
+        [experiment_spec(config)], jobs=1, cache=_cache(args), obs=obs
+    )
+    if records[0].cached:
+        print("(cache hit — no simulation work)")
+    result = records_to_results(records)[0]
     _emit([result.summary()], args.output)
     _finish_obs(obs)
     return 0
@@ -166,7 +196,10 @@ def cmd_sweep(args) -> int:
     config = _config(args)
     stations = args.values or scaled_stations(args.scale)
     obs = _observability(args)
-    results = run_sweep(config, "num_stations", stations, obs=obs)
+    results = run_sweep(
+        config, "num_stations", stations, obs=obs,
+        jobs=args.jobs, cache=_cache(args),
+    )
     _emit(sweep_table(results), args.output)
     _finish_obs(obs)
     return 0
@@ -177,7 +210,7 @@ def cmd_figure8(args) -> int:
     obs = _observability(args)
     curves = run_figure8(
         scale=args.scale, stations=stations, means=scaled_means(args.scale),
-        obs=obs,
+        obs=obs, jobs=args.jobs, cache=_cache(args),
     )
     _emit(figure8_rows(curves), args.output)
     _finish_obs(obs)
@@ -190,10 +223,22 @@ def cmd_table4(args) -> int:
         scale=args.scale,
         stations=args.values or scaled_table4_stations(args.scale),
         means=scaled_means(args.scale),
-        obs=obs,
+        obs=obs, jobs=args.jobs, cache=_cache(args),
     )
     _emit(rows, args.output)
     _finish_obs(obs)
+    return 0
+
+
+def cmd_sweep_status(args) -> int:
+    cache = ResultCache(resolve_cache_dir(args.cache_dir))
+    entries = len(cache)
+    print(f"cache: {cache.root} ({entries} entries)")
+    if entries:
+        print(format_table(cache_status_rows(cache)))
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries")
     return 0
 
 
@@ -249,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_tab4)
     p_tab4.add_argument("--values", type=int, nargs="*", default=None)
     p_tab4.set_defaults(func=cmd_table4)
+
+    p_status = sub.add_parser(
+        "sweep-status", help="summarise the on-disk result cache"
+    )
+    p_status.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache directory (default: $REPRO_CACHE_DIR "
+                               "or .repro-cache)")
+    p_status.add_argument("--clear", action="store_true",
+                          help="delete every cached entry after reporting")
+    p_status.set_defaults(func=cmd_sweep_status)
 
     p_obs = sub.add_parser(
         "obs-report",

@@ -1,0 +1,51 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every paper experiment is a *sweep*: dozens of independent simulation
+runs over a parameter grid.  ``repro.exec`` turns each run into a
+picklable :class:`~repro.exec.spec.RunSpec`, fans specs across a
+``multiprocessing`` worker pool (``jobs > 1``), and memoises finished
+runs in an on-disk :class:`~repro.exec.cache.ResultCache` keyed by a
+stable content hash of the spec plus a code-version salt — re-running
+a sweep with one changed parameter only simulates the delta.
+
+The hard contract (pinned by tests/exec): serial, parallel, and
+cache-hit executions of the same specs produce **byte-identical**
+result rows.  See docs/parallel_execution.md.
+"""
+
+from __future__ import annotations
+
+from repro.exec.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_status_rows,
+    resolve_cache_dir,
+)
+from repro.exec.executor import (
+    RunRecord,
+    SweepFailure,
+    execute,
+    records_to_results,
+    require_ok,
+)
+from repro.exec.hashing import canonical, canonical_json, code_salt
+from repro.exec.spec import RunSpec, derive_seed, experiment_spec, spec_digest
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepFailure",
+    "cache_status_rows",
+    "canonical",
+    "canonical_json",
+    "code_salt",
+    "derive_seed",
+    "execute",
+    "experiment_spec",
+    "records_to_results",
+    "require_ok",
+    "resolve_cache_dir",
+    "spec_digest",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/objects/<digest[:2]>/<digest>.json``, one JSON record
+per finished run.  The digest is :func:`repro.exec.spec.spec_digest`
+(config + params + kind + code-version salt), so a cache hit is
+*proof* the identical simulation already ran under identical code —
+the stored payload is returned byte-for-byte.
+
+Records are written atomically (temp file + rename) so a crashed or
+parallel writer never leaves a torn entry; unreadable entries are
+treated as misses and overwritten.  Only successful runs are cached —
+failures always re-execute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Default cache location (relative to the working directory); the
+#: ``REPRO_CACHE_DIR`` environment variable overrides it.
+DEFAULT_CACHE_DIR = ".repro-cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(explicit: Optional[PathLike] = None) -> Path:
+    """The cache directory to use: flag > environment > default."""
+    if explicit is not None:
+        return Path(explicit)
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """A content-addressed store of finished run records."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return f"<ResultCache root={str(self.root)!r} entries={len(self)}>"
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    def path_for(self, digest: str) -> Path:
+        """Where the record for ``digest`` lives (existing or not)."""
+        return self.root / "objects" / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` (corrupt entries count as misses)."""
+        path = self.path_for(digest)
+        try:
+            with path.open() as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, digest: str, record: Dict[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload["digest"] = digest
+        payload.setdefault("created_at", time.time())
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with temp.open("w") as handle:
+            # Insertion order is part of the payload: a cache hit must
+            # reproduce the original run's serialization byte-for-byte.
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(temp, path)
+        return path
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """All readable records, in digest order."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            try:
+                with path.open() as handle:
+                    record = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        for path in objects.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+def cache_status_rows(cache: ResultCache) -> List[Dict[str, Any]]:
+    """One summary row per run kind for ``repro sweep-status``."""
+    by_kind: Dict[str, Dict[str, Any]] = {}
+    now = time.time()
+    for record in cache.entries():
+        kind = str(record.get("kind", "?"))
+        row = by_kind.setdefault(
+            kind,
+            {"kind": kind, "runs": 0, "sim_seconds_banked": 0.0,
+             "newest_age_s": float("inf")},
+        )
+        row["runs"] += 1
+        row["sim_seconds_banked"] += float(record.get("duration_s", 0.0))
+        created = float(record.get("created_at", 0.0))
+        row["newest_age_s"] = min(row["newest_age_s"], max(0.0, now - created))
+    rows = []
+    for kind in sorted(by_kind):
+        row = by_kind[kind]
+        rows.append(
+            {
+                "kind": kind,
+                "runs": row["runs"],
+                "sim_seconds_banked": round(row["sim_seconds_banked"], 2),
+                "newest_age_s": (
+                    0.0 if row["newest_age_s"] == float("inf")
+                    else round(row["newest_age_s"], 1)
+                ),
+            }
+        )
+    return rows

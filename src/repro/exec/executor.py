@@ -1,0 +1,237 @@
+"""The sweep executor: cache probe, worker pool, structured records.
+
+:func:`execute` takes a list of :class:`~repro.exec.spec.RunSpec`,
+probes the result cache, deduplicates identical specs, runs the
+misses — in-process for ``jobs == 1``, across a ``multiprocessing``
+pool otherwise — and returns one :class:`RunRecord` per spec **in
+spec order**, regardless of worker scheduling.
+
+Failure is data, not control flow: a run that raises yields a record
+with ``status == "error"`` and the worker's traceback instead of
+killing the sweep.  Callers that need all runs (every experiment
+module) raise :class:`SweepFailure` via :func:`records_to_results`.
+
+Telemetry: with an :class:`~repro.obs.Observability` session, the
+executor opens one run-observation of its own whose
+:class:`~repro.obs.PhaseProfiler` splits plan / execute / collect and
+whose registry tallies per-run wall-clock and counts runs, cache
+hits, and failures.  At ``jobs == 1`` the session is additionally
+threaded into each run (per-run engine metrics, exactly as before
+this layer existed); worker processes always run unobserved — the
+telemetry contract (PR 1) guarantees that cannot change their rows.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.exec.cache import ResultCache
+from repro.exec.spec import RunSpec, run_spec, spec_digest
+from repro.simulation.results import SimulationResult
+
+
+class SweepFailure(ReproError):
+    """One or more runs of a sweep failed; carries their records."""
+
+    def __init__(self, failures: List["RunRecord"]) -> None:
+        self.failures = failures
+        first = failures[0]
+        detail = (first.error or "").strip().splitlines()
+        super().__init__(
+            f"{len(failures)} of the sweep's runs failed; first: "
+            f"{first.label or first.kind}: {detail[-1] if detail else 'unknown'}"
+        )
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one spec: payload or error, provenance, timing."""
+
+    index: int
+    kind: str
+    label: str
+    digest: str
+    status: str  # "ok" | "error"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def result(self) -> SimulationResult:
+        """The payload as a :class:`SimulationResult` (experiment kinds)."""
+        if not self.ok:
+            raise SweepFailure([self])
+        return SimulationResult.from_dict(self.payload)
+
+
+def _execute_payload(spec: RunSpec, obs=None) -> Tuple[str, Dict, Optional[str], float]:
+    """Run one spec, capturing any failure; returns (status, payload,
+    error, duration)."""
+    start = time.perf_counter()
+    try:
+        payload = run_spec(spec, obs=obs)
+        return "ok", payload, None, time.perf_counter() - start
+    except Exception:  # noqa: BLE001 — failure capture is the point
+        return "error", {}, traceback.format_exc(), time.perf_counter() - start
+
+
+def _worker_task(task: Tuple[int, RunSpec]) -> Dict[str, Any]:
+    """Pool entry point; must stay module-level (picklable)."""
+    index, spec = task
+    status, payload, error, duration = _execute_payload(spec)
+    return {
+        "index": index,
+        "status": status,
+        "payload": payload,
+        "error": error,
+        "duration_s": duration,
+    }
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits imports), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    obs=None,
+) -> List[RunRecord]:
+    """Run every spec; one record per spec, in spec order."""
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    specs = list(specs)
+    if not specs:
+        return []
+
+    # A single spec is not a sweep: skip the executor's own run
+    # observation so `repro run --metrics` documents stay one-run.
+    exec_obs = None
+    if obs is not None and obs.enabled and len(specs) > 1:
+        exec_obs = obs.begin_run(f"sweep-exec[{len(specs)} runs]")
+
+    def phase(name):
+        if exec_obs is not None:
+            return exec_obs.profiler.phase(name)
+        return contextlib.nullcontext()
+
+    records: Dict[int, RunRecord] = {}
+    with phase("plan"):
+        digests = [spec_digest(spec) for spec in specs]
+        pending: Dict[str, List[int]] = {}
+        for index, (spec, digest) in enumerate(zip(specs, digests)):
+            stored = cache.get(digest) if cache is not None else None
+            if stored is not None:
+                records[index] = RunRecord(
+                    index=index,
+                    kind=spec.kind,
+                    label=spec.describe(),
+                    digest=digest,
+                    status="ok",
+                    payload=stored.get("payload", {}),
+                    duration_s=float(stored.get("duration_s", 0.0)),
+                    cached=True,
+                )
+            else:
+                # Identical specs (same digest) simulate once.
+                pending.setdefault(digest, []).append(index)
+
+    tasks = [(indices[0], specs[indices[0]]) for indices in pending.values()]
+    outcomes: Dict[int, Dict[str, Any]] = {}
+    with phase("execute"):
+        if jobs == 1 or len(tasks) <= 1:
+            for index, spec in tasks:
+                status, payload, error, duration = _execute_payload(spec, obs=obs)
+                outcomes[index] = {
+                    "index": index,
+                    "status": status,
+                    "payload": payload,
+                    "error": error,
+                    "duration_s": duration,
+                }
+        else:
+            context = _pool_context()
+            workers = min(jobs, len(tasks))
+            with context.Pool(processes=workers) as pool:
+                for outcome in pool.imap_unordered(_worker_task, tasks):
+                    outcomes[outcome["index"]] = outcome
+
+    with phase("collect"):
+        for digest, indices in pending.items():
+            outcome = outcomes[indices[0]]
+            if (
+                cache is not None
+                and outcome["status"] == "ok"
+            ):
+                lead = specs[indices[0]]
+                cache.put(
+                    digest,
+                    {
+                        "kind": lead.kind,
+                        "label": lead.describe(),
+                        "status": "ok",
+                        "payload": outcome["payload"],
+                        "duration_s": outcome["duration_s"],
+                    },
+                )
+            for index in indices:
+                spec = specs[index]
+                records[index] = RunRecord(
+                    index=index,
+                    kind=spec.kind,
+                    label=spec.describe(),
+                    digest=digest,
+                    status=outcome["status"],
+                    payload=outcome["payload"],
+                    error=outcome["error"],
+                    duration_s=outcome["duration_s"],
+                    cached=index != indices[0],
+                )
+
+        ordered = [records[index] for index in range(len(specs))]
+        if exec_obs is not None:
+            registry = exec_obs.registry
+            registry.counter("exec.runs").inc(len(ordered))
+            registry.counter("exec.cache_hits").inc(
+                sum(1 for record in ordered if record.cached)
+            )
+            registry.counter("exec.executed").inc(len(tasks))
+            registry.counter("exec.failures").inc(
+                sum(1 for record in ordered if not record.ok)
+            )
+            registry.gauge("exec.jobs").set(jobs)
+            run_seconds = registry.tally("exec.run_seconds")
+            for outcome in outcomes.values():
+                run_seconds.record(outcome["duration_s"])
+
+    if exec_obs is not None:
+        obs.finish_run(exec_obs)
+    return ordered
+
+
+def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:
+    """The records, or :class:`SweepFailure` if any run failed."""
+    failures = [record for record in records if not record.ok]
+    if failures:
+        raise SweepFailure(failures)
+    return list(records)
+
+
+def records_to_results(records: Sequence[RunRecord]) -> List[SimulationResult]:
+    """Materialise experiment results, raising if any run failed."""
+    return [record.result() for record in require_ok(records)]

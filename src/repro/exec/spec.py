@@ -1,0 +1,132 @@
+"""Run specs: the picklable unit of sweep work.
+
+A :class:`RunSpec` is pure data — a kind tag, an optional
+:class:`~repro.simulation.config.SimulationConfig`, and JSON-able
+params — so it can cross a process boundary and be content-hashed for
+the result cache.  All shared setup an experiment used to re-derive
+per run (catalogs, derived quantities) is reconstructed *inside* the
+worker from the spec, memoised per process (see
+:func:`repro.simulation.runner.cached_catalog`), so neither the parent
+nor the workers repeat it.
+
+Each kind maps to a registered function ``fn(spec, obs) -> payload``
+where the payload is a JSON-able dict (cacheable, byte-comparable).
+Kinds living in experiment modules are imported lazily to avoid
+circular imports and so worker processes resolve them on demand.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.exec.hashing import HASH_SCHEME_VERSION, canonical, code_salt, digest_document
+from repro.simulation.config import SimulationConfig
+
+#: Mask keeping derived seeds in the positive 63-bit range
+#: (mirrors :meth:`repro.sim.rng.RandomStream.fork`).
+_SEED_MASK = 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run of a sweep.
+
+    ``kind`` selects the registered run function, ``config`` carries a
+    full simulation configuration for "experiment" runs, and
+    ``params`` the keyword arguments of non-config kinds (mixed-media
+    rows, fairness rows).  ``label`` is display-only and excluded from
+    the cache key.
+    """
+
+    kind: str
+    config: Optional[SimulationConfig] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        if self.config is not None:
+            return self.config.describe()
+        return self.kind
+
+
+def spec_digest(spec: RunSpec) -> str:
+    """Content hash of a spec: config + params + kind + code salt."""
+    return digest_document(
+        {
+            "version": HASH_SCHEME_VERSION,
+            "kind": spec.kind,
+            "config": canonical(spec.config) if spec.config is not None else None,
+            "params": canonical(dict(spec.params)),
+            "salt": code_salt(),
+        }
+    )
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A per-run seed independent of every other index's stream.
+
+    Deterministic in ``(base_seed, index)`` and independent of worker
+    scheduling order; uses the same arithmetic as
+    :meth:`repro.sim.rng.RandomStream.fork` so run ``i`` of a sweep
+    gets the stream ``RandomStream(base_seed).fork(i + 1)`` would.
+    """
+    return (base_seed * 1_000_003 + index + 1) & _SEED_MASK
+
+
+def experiment_spec(config: SimulationConfig, label: str = "") -> RunSpec:
+    """The common case: one :func:`run_experiment` call as a spec."""
+    return RunSpec(kind="experiment", config=config, label=label)
+
+
+# ----------------------------------------------------------------------
+# Kind registry
+# ----------------------------------------------------------------------
+KindFn = Callable[[RunSpec, Any], Dict[str, Any]]
+
+_KINDS: Dict[str, KindFn] = {}
+
+#: Modules that register non-core kinds on import (lazy to avoid
+#: cycles: experiment modules import the executor, not vice versa).
+_KIND_HOMES = {
+    "mixed_media": "repro.experiments.mixed_media",
+    "fairness": "repro.experiments.mixed_media",
+}
+
+
+def register_kind(name: str) -> Callable[[KindFn], KindFn]:
+    """Decorator registering the run function for a spec kind."""
+
+    def decorator(fn: KindFn) -> KindFn:
+        _KINDS[name] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_kind(name: str) -> KindFn:
+    """The run function for ``name``, importing its home module if needed."""
+    if name not in _KINDS and name in _KIND_HOMES:
+        importlib.import_module(_KIND_HOMES[name])
+    try:
+        return _KINDS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown run kind {name!r}") from None
+
+
+def run_spec(spec: RunSpec, obs=None) -> Dict[str, Any]:
+    """Execute one spec in this process; returns its JSON-able payload."""
+    return resolve_kind(spec.kind)(spec, obs)
+
+
+@register_kind("experiment")
+def _experiment_kind(spec: RunSpec, obs=None) -> Dict[str, Any]:
+    from repro.simulation.runner import run_experiment
+
+    if spec.config is None:
+        raise ConfigurationError("experiment spec needs a config")
+    return run_experiment(spec.config, obs=obs).to_dict()

@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.exec import execute, experiment_spec, records_to_results
 from repro.simulation.config import PaperConfig, ScaledConfig, SimulationConfig
+from repro.simulation.results import SimulationResult
 from repro.simulation.runner import run_experiment
 
 #: The paper's three access-distribution means and their labels.
@@ -51,18 +53,19 @@ def scaled_stations(scale: int = 10) -> List[int]:
     return sorted({max(1, s // scale) for s in PAPER_STATIONS})
 
 
-def run_point(
-    config: SimulationConfig,
-    technique: str,
-    mean: float,
-    stations: int,
-    obs=None,
-) -> Figure8Point:
-    """Run one (technique, mean, stations) cell."""
-    result = run_experiment(
-        config.with_(technique=technique, access_mean=mean, num_stations=stations),
-        obs=obs,
+def point_config(
+    config: SimulationConfig, technique: str, mean: float, stations: int
+) -> SimulationConfig:
+    """The configuration of one (technique, mean, stations) cell."""
+    return config.with_(
+        technique=technique, access_mean=mean, num_stations=stations
     )
+
+
+def point_from_result(
+    result: SimulationResult, technique: str, mean: float, stations: int
+) -> Figure8Point:
+    """One curve point from a finished run."""
     stats = result.policy_stats
     return Figure8Point(
         technique=technique,
@@ -75,24 +78,54 @@ def run_point(
     )
 
 
+def run_point(
+    config: SimulationConfig,
+    technique: str,
+    mean: float,
+    stations: int,
+    obs=None,
+) -> Figure8Point:
+    """Run one (technique, mean, stations) cell."""
+    result = run_experiment(
+        point_config(config, technique, mean, stations), obs=obs
+    )
+    return point_from_result(result, technique, mean, stations)
+
+
 def run_figure8(
     scale: int = 10,
     stations: Optional[Sequence[int]] = None,
     means: Optional[Sequence[float]] = None,
     techniques: Sequence[str] = ("simple", "vdr"),
     obs=None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[float, List[Figure8Point]]:
-    """All curves, grouped by access mean."""
+    """All curves, grouped by access mean.
+
+    The grid's runs are independent, so they fan through
+    :func:`repro.exec.execute` — ``jobs`` workers, optional result
+    ``cache`` — and come back in grid order regardless of scheduling.
+    """
     config = base_config(scale)
     stations = list(stations) if stations else scaled_stations(scale)
     means = list(means) if means else scaled_means(scale)
-    curves: Dict[float, List[Figure8Point]] = {}
-    for mean in means:
-        points: List[Figure8Point] = []
-        for technique in techniques:
-            for count in stations:
-                points.append(run_point(config, technique, mean, count, obs=obs))
-        curves[mean] = points
+    cells = [
+        (mean, technique, count)
+        for mean in means
+        for technique in techniques
+        for count in stations
+    ]
+    specs = [
+        experiment_spec(point_config(config, technique, mean, count))
+        for mean, technique, count in cells
+    ]
+    results = records_to_results(
+        execute(specs, jobs=jobs, cache=cache, obs=obs)
+    )
+    curves: Dict[float, List[Figure8Point]] = {mean: [] for mean in means}
+    for (mean, technique, count), result in zip(cells, results):
+        curves[mean].append(point_from_result(result, technique, mean, count))
     return curves
 
 

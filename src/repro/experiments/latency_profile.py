@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.exec import execute, experiment_spec, records_to_results
 from repro.sim.monitor import Histogram
 from repro.simulation.config import ScaledConfig, SimulationConfig
 from repro.simulation.results import SimulationResult
-from repro.simulation.runner import run_experiment
 
 
 def latency_histogram(
@@ -53,12 +53,15 @@ def latency_profiles(
     access_mean: Optional[float] = 1.0,
     techniques: Sequence[str] = ("simple", "vdr"),
     config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
     """One quantile row per technique at the given load."""
     base = config if config is not None else ScaledConfig(scale=scale)
     base = base.with_(num_stations=num_stations, access_mean=access_mean)
-    rows = []
-    for technique in techniques:
-        result = run_experiment(base.with_(technique=technique))
-        rows.append(profile_row(result))
-    return rows
+    specs = [
+        experiment_spec(base.with_(technique=technique))
+        for technique in techniques
+    ]
+    results = records_to_results(execute(specs, jobs=jobs, cache=cache))
+    return [profile_row(result) for result in results]

@@ -28,6 +28,8 @@ from repro.core.disk_manager import DiskManager
 from repro.core.object_manager import ObjectManager
 from repro.core.scheduler import StaggeredStripingPolicy
 from repro.errors import ConfigurationError
+from repro.exec import execute, require_ok
+from repro.exec.spec import RunSpec, register_kind
 from repro.hardware.disk import TABLE3_DISK, DiskModel
 from repro.hardware.disk_array import DiskArray
 from repro.media.catalog import Catalog
@@ -105,6 +107,73 @@ def build_mixed_system(
     return catalog, policy
 
 
+def _measure_by_class(
+    engine: IntervalEngine,
+    catalog: Catalog,
+    measure_intervals: int,
+    warmup: int = 300,
+) -> tuple:
+    """Drive the engine; returns (completions, latencies per class)."""
+    latencies_by_class: Dict[str, List[int]] = {}
+    completions = 0
+    for interval in range(warmup + measure_intervals):
+        for completion in engine.step():
+            if interval < warmup:
+                continue
+            completions += 1
+            name = catalog.get(completion.request.object_id).media_type.name
+            latencies_by_class.setdefault(name, []).append(
+                completion.startup_latency
+            )
+    return completions, latencies_by_class
+
+
+def mixed_media_row(
+    naive: bool,
+    num_stations: int = 16,
+    measure_intervals: int = 2000,
+    num_disks: int = 60,
+    seed: int = 7,
+    mix: Sequence = DEFAULT_MIX,
+    queue_discipline: str = "scan",
+) -> Dict:
+    """One design's row: throughput + per-class latency."""
+    catalog, policy = build_mixed_system(
+        num_disks=num_disks, naive=naive, mix=mix
+    )
+    policy.queue_discipline = queue_discipline
+    stations = StationPool(
+        num_stations=num_stations,
+        access=UniformAccess(catalog.object_ids, RandomStream(seed)),
+    )
+    engine = IntervalEngine(
+        policy=policy,
+        stations=stations,
+        interval_length=TABLE3_DISK.service_time(1),
+        technique="naive" if naive else "staggered",
+    )
+    completions, latencies_by_class = _measure_by_class(
+        engine, catalog, measure_intervals
+    )
+    seconds = measure_intervals * engine.interval_length
+    row: Dict = {
+        "design": "naive-Mmax-clusters" if naive else "staggered",
+        "displays_per_hour": round(completions / seconds * 3600.0, 1),
+    }
+    for name, _bandwidth, _count in mix:
+        samples = latencies_by_class.get(name, [])
+        mean = sum(samples) / len(samples) if samples else float("nan")
+        row[f"latency_{name}_ivs"] = round(mean, 1)
+    return row
+
+
+@register_kind("mixed_media")
+def _mixed_media_kind(spec: RunSpec, obs=None) -> Dict:
+    params = dict(spec.params)
+    params["mix"] = [tuple(entry) for entry in params.get("mix", DEFAULT_MIX)]
+    return mixed_media_row(**params)
+
+
 def run_mixed_media(
     num_stations: int = 16,
     measure_intervals: int = 2000,
@@ -112,47 +181,28 @@ def run_mixed_media(
     seed: int = 7,
     mix: Sequence = DEFAULT_MIX,
     queue_discipline: str = "scan",
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
     """Throughput + per-class latency: staggered vs naive clusters."""
-    rows: List[Dict] = []
-    for naive in (False, True):
-        catalog, policy = build_mixed_system(
-            num_disks=num_disks, naive=naive, mix=mix
+    specs = [
+        RunSpec(
+            kind="mixed_media",
+            params={
+                "naive": naive,
+                "num_stations": num_stations,
+                "measure_intervals": measure_intervals,
+                "num_disks": num_disks,
+                "seed": seed,
+                "mix": [list(entry) for entry in mix],
+                "queue_discipline": queue_discipline,
+            },
+            label=f"mixed-media naive={naive}",
         )
-        policy.queue_discipline = queue_discipline
-        stations = StationPool(
-            num_stations=num_stations,
-            access=UniformAccess(catalog.object_ids, RandomStream(seed)),
-        )
-        engine = IntervalEngine(
-            policy=policy,
-            stations=stations,
-            interval_length=TABLE3_DISK.service_time(1),
-            technique="naive" if naive else "staggered",
-        )
-        latencies_by_class: Dict[str, List[int]] = {}
-        completions = 0
-        warmup = 300
-        for interval in range(warmup + measure_intervals):
-            for completion in engine.step():
-                if interval < warmup:
-                    continue
-                completions += 1
-                name = catalog.get(completion.request.object_id).media_type.name
-                latencies_by_class.setdefault(name, []).append(
-                    completion.startup_latency
-                )
-        seconds = measure_intervals * engine.interval_length
-        row: Dict = {
-            "design": "naive-Mmax-clusters" if naive else "staggered",
-            "displays_per_hour": round(completions / seconds * 3600.0, 1),
-        }
-        for name, _bandwidth, _count in mix:
-            samples = latencies_by_class.get(name, [])
-            mean = sum(samples) / len(samples) if samples else float("nan")
-            row[f"latency_{name}_ivs"] = round(mean, 1)
-        rows.append(row)
-    return rows
+        for naive in (False, True)
+    ]
+    records = require_ok(execute(specs, jobs=jobs, cache=cache))
+    return [record.payload for record in records]
 
 
 def bandwidth_waste_naive(
@@ -170,12 +220,54 @@ def bandwidth_waste_naive(
     return (claimed - used) / claimed
 
 
+def fairness_row(
+    discipline: str,
+    num_stations: int = 24,
+    measure_intervals: int = 2000,
+    num_disks: int = 36,
+    seed: int = 11,
+) -> Dict:
+    """One queue discipline's row of the §5 fairness comparison."""
+    mix = (("narrow", 40.0, 6), ("wide", 120.0, 6))
+    catalog, policy = build_mixed_system(
+        num_disks=num_disks, naive=False, mix=mix
+    )
+    policy.queue_discipline = discipline
+    stations = StationPool(
+        num_stations=num_stations,
+        access=UniformAccess(catalog.object_ids, RandomStream(seed)),
+    )
+    engine = IntervalEngine(
+        policy=policy,
+        stations=stations,
+        interval_length=TABLE3_DISK.service_time(1),
+        technique=f"staggered/{discipline}",
+    )
+    completions, latencies = _measure_by_class(
+        engine, catalog, measure_intervals
+    )
+    seconds = measure_intervals * engine.interval_length
+    return {
+        "discipline": discipline,
+        "displays_per_hour": round(completions / seconds * 3600.0, 1),
+        "narrow_latency_ivs": round(_mean(latencies.get("narrow", [])), 1),
+        "wide_latency_ivs": round(_mean(latencies.get("wide", [])), 1),
+    }
+
+
+@register_kind("fairness")
+def _fairness_kind(spec: RunSpec, obs=None) -> Dict:
+    return fairness_row(**dict(spec.params))
+
+
 def fairness_comparison(
     disciplines: Sequence[str] = ("scan", "sjf", "largest_first"),
     num_stations: int = 24,
     measure_intervals: int = 2000,
     num_disks: int = 36,
     seed: int = 11,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
     """§5: 'Should a small request have priority?'
 
@@ -184,43 +276,22 @@ def fairness_comparison(
     should cut the narrow displays' waits at some cost to the wide
     ones.
     """
-    mix = (("narrow", 40.0, 6), ("wide", 120.0, 6))
-    rows: List[Dict] = []
-    for discipline in disciplines:
-        catalog, policy = build_mixed_system(
-            num_disks=num_disks, naive=False, mix=mix
-        )
-        policy.queue_discipline = discipline
-        stations = StationPool(
-            num_stations=num_stations,
-            access=UniformAccess(catalog.object_ids, RandomStream(seed)),
-        )
-        engine = IntervalEngine(
-            policy=policy,
-            stations=stations,
-            interval_length=TABLE3_DISK.service_time(1),
-            technique=f"staggered/{discipline}",
-        )
-        latencies: Dict[str, List[int]] = {"narrow": [], "wide": []}
-        completions = 0
-        warmup = 300
-        for interval in range(warmup + measure_intervals):
-            for completion in engine.step():
-                if interval < warmup:
-                    continue
-                completions += 1
-                name = catalog.get(completion.request.object_id).media_type.name
-                latencies[name].append(completion.startup_latency)
-        seconds = measure_intervals * engine.interval_length
-        rows.append(
-            {
+    specs = [
+        RunSpec(
+            kind="fairness",
+            params={
                 "discipline": discipline,
-                "displays_per_hour": round(completions / seconds * 3600.0, 1),
-                "narrow_latency_ivs": round(_mean(latencies["narrow"]), 1),
-                "wide_latency_ivs": round(_mean(latencies["wide"]), 1),
-            }
+                "num_stations": num_stations,
+                "measure_intervals": measure_intervals,
+                "num_disks": num_disks,
+                "seed": seed,
+            },
+            label=f"fairness {discipline}",
         )
-    return rows
+        for discipline in disciplines
+    ]
+    records = require_ok(execute(specs, jobs=jobs, cache=cache))
+    return [record.payload for record in records]
 
 
 def _mean(samples: List[int]) -> float:

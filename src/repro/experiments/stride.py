@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.latency import expected_contiguous_wait, k_equals_d_blocking_time
 from repro.analysis.skew import skew_profile, stride_is_skew_free
 from repro.core.lowbw import half_disk_waste, whole_disk_waste
+from repro.exec import execute, experiment_spec, records_to_results
 from repro.simulation.config import ScaledConfig, SimulationConfig
-from repro.simulation.runner import run_experiment
 
 
 def stride_sweep(
@@ -30,6 +30,8 @@ def stride_sweep(
     num_stations: int = 16,
     access_mean: Optional[float] = 2.0,
     config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
     """Throughput/latency per stride, staggered striping."""
     config = config if config is not None else ScaledConfig(scale=scale)
@@ -45,9 +47,13 @@ def stride_sweep(
     if strides is None:
         m, d = config.degree, config.num_disks
         strides = [1, 2, m, 2 * m + 1, d]
+    strides = list(strides)
+    specs = [
+        experiment_spec(config.with_(stride=stride)) for stride in strides
+    ]
+    results = records_to_results(execute(specs, jobs=jobs, cache=cache))
     rows: List[Dict] = []
-    for stride in strides:
-        result = run_experiment(config.with_(stride=stride))
+    for stride, result in zip(strides, results):
         profile = skew_profile(
             config.num_disks, stride, config.num_subobjects, config.degree
         )

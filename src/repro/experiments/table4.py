@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figure8 import base_config, run_point, scaled_means
+from repro.exec import execute, experiment_spec, records_to_results
+from repro.experiments.figure8 import (
+    base_config,
+    point_config,
+    point_from_result,
+    scaled_means,
+)
 from repro.simulation.config import SimulationConfig
 
 #: The paper's station counts for Table 4.
@@ -49,17 +55,41 @@ def run_table4(
     means: Optional[Sequence[float]] = None,
     config: Optional[SimulationConfig] = None,
     obs=None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
-    """One row per station count; one improvement column per mean."""
+    """One row per station count; one improvement column per mean.
+
+    All (stations × means × technique) cells run through
+    :func:`repro.exec.execute` before the improvement arithmetic, so
+    ``jobs`` and ``cache`` apply exactly as for Figure 8.
+    """
     config = config if config is not None else base_config(scale)
     stations = list(stations) if stations else scaled_table4_stations(scale)
     means = list(means) if means else scaled_means(scale)
+    cells = [
+        (count, mean, technique)
+        for count in stations
+        for mean in means
+        for technique in ("simple", "vdr")
+    ]
+    specs = [
+        experiment_spec(point_config(config, technique, mean, count))
+        for count, mean, technique in cells
+    ]
+    results = records_to_results(
+        execute(specs, jobs=jobs, cache=cache, obs=obs)
+    )
+    points = {
+        cell: point_from_result(result, cell[2], cell[1], cell[0])
+        for cell, result in zip(cells, results)
+    }
     rows: List[Dict] = []
     for count in stations:
         row: Dict = {"stations": count}
         for mean in means:
-            striping = run_point(config, "simple", mean, count, obs=obs)
-            vdr = run_point(config, "vdr", mean, count, obs=obs)
+            striping = points[(count, mean, "simple")]
+            vdr = points[(count, mean, "vdr")]
             if vdr.throughput_per_hour > 0:
                 improvement = (
                     striping.throughput_per_hour / vdr.throughput_per_hour - 1.0

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.exec import execute, experiment_spec, records_to_results
 from repro.hardware.tertiary import TertiaryDevice
 from repro.media.objects import MediaObject, MediaType
 from repro.media.tape_layout import TapeLayout, TapeOrder
 from repro.simulation.config import ScaledConfig, SimulationConfig
-from repro.simulation.runner import run_experiment
 
 
 def layout_cost_rows(
@@ -54,6 +54,8 @@ def simulated_comparison(
     scale: int = 50,
     num_stations: int = 8,
     config: Optional[SimulationConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict]:
     """Simulated throughput under each tape order.
 
@@ -70,9 +72,11 @@ def simulated_comparison(
         warmup_intervals=max(base.warmup_intervals, 4 * base.num_subobjects),
         measure_intervals=max(base.measure_intervals, 40 * base.num_subobjects),
     )
+    orders = [TapeOrder.FRAGMENT_ORDERED, TapeOrder.SEQUENTIAL]
+    specs = [experiment_spec(base.with_(tape_order=order)) for order in orders]
+    results = records_to_results(execute(specs, jobs=jobs, cache=cache))
     rows = []
-    for order in (TapeOrder.FRAGMENT_ORDERED, TapeOrder.SEQUENTIAL):
-        result = run_experiment(base.with_(tape_order=order))
+    for order, result in zip(orders, results):
         stats = result.policy_stats
         rows.append(
             {

@@ -91,6 +91,49 @@ class SimulationResult:
         """Average fraction of array bandwidth in use in the window."""
         return self.busy_fraction_sum / self.samples if self.samples else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for the result cache and worker transport.
+
+        Only the deterministic simulation outcome is included —
+        :attr:`profile` and :attr:`observation` hold wall-clock
+        telemetry and are dropped so serial, parallel, cached, and
+        observed executions serialise byte-identically.
+        """
+        return {
+            "technique": self.technique,
+            "num_stations": self.num_stations,
+            "access_mean": self.access_mean,
+            "interval_length": self.interval_length,
+            "warmup_intervals": self.warmup_intervals,
+            "measure_intervals": self.measure_intervals,
+            "completed": self.completed,
+            "latencies_intervals": list(self.latencies_intervals),
+            "policy_stats": dict(self.policy_stats),
+            "concurrency_sum": self.concurrency_sum,
+            "concurrency_max": self.concurrency_max,
+            "busy_fraction_sum": self.busy_fraction_sum,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            technique=data["technique"],
+            num_stations=data["num_stations"],
+            access_mean=data["access_mean"],
+            interval_length=data["interval_length"],
+            warmup_intervals=data["warmup_intervals"],
+            measure_intervals=data["measure_intervals"],
+            completed=data["completed"],
+            latencies_intervals=list(data.get("latencies_intervals", [])),
+            policy_stats=dict(data.get("policy_stats", {})),
+            concurrency_sum=data.get("concurrency_sum", 0),
+            concurrency_max=data.get("concurrency_max", 0),
+            busy_fraction_sum=data.get("busy_fraction_sum", 0.0),
+            samples=data.get("samples", 0),
+        )
+
     def summary(self) -> Dict[str, float]:
         """Flat dict for tabular reports."""
         report = {

@@ -5,12 +5,19 @@ the configured storage policy (simple striping, staggered striping, or
 VDR) and runs warmup + measurement, returning a
 :class:`~repro.simulation.results.SimulationResult`.
 :func:`run_sweep` varies one field (typically ``num_stations``) across
-a list of values — the shape of the paper's Figure 8.
+a list of values — the shape of the paper's Figure 8 — and fans the
+runs through :mod:`repro.exec` (``jobs``/``cache`` keywords).
+
+Catalogs are deterministic functions of a handful of config fields
+and are immutable after build, so :func:`cached_catalog` memoises
+them per process: a sweep varying ``num_stations`` builds its catalog
+once instead of once per run, in the parent and in every worker.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.admission import AdmissionMode
 from repro.core.disk_manager import DiskManager
@@ -44,6 +51,36 @@ def build_catalog(config: SimulationConfig) -> Catalog:
         degree=config.degree,
         fragment_size=config.fragment_size,
     )
+
+
+#: Recently built catalogs, keyed by the config fields they depend on.
+_CATALOG_MEMO: "OrderedDict[Tuple, Catalog]" = OrderedDict()
+_CATALOG_MEMO_CAPACITY = 8
+
+
+def cached_catalog(config: SimulationConfig) -> Catalog:
+    """A (possibly shared) catalog for ``config``.
+
+    Catalogs are immutable after build (residency lives in the Object
+    Manager) and fully determined by the key below, so sharing one
+    across the runs of a sweep changes nothing but setup cost.
+    """
+    key = (
+        config.num_objects,
+        config.num_subobjects,
+        config.degree,
+        config.fragment_size,
+        config.display_bandwidth,
+    )
+    catalog = _CATALOG_MEMO.get(key)
+    if catalog is None:
+        catalog = build_catalog(config)
+        _CATALOG_MEMO[key] = catalog
+        while len(_CATALOG_MEMO) > _CATALOG_MEMO_CAPACITY:
+            _CATALOG_MEMO.popitem(last=False)
+    else:
+        _CATALOG_MEMO.move_to_end(key)
+    return catalog
 
 
 def build_access(
@@ -157,9 +194,17 @@ def preload_ids(config: SimulationConfig, access: AccessDistribution) -> List[in
     return ranking[:limit]
 
 
-def build_engine(config: SimulationConfig, obs=None) -> IntervalEngine:
-    """Assemble the full system for one run."""
-    catalog = build_catalog(config)
+def build_engine(
+    config: SimulationConfig, obs=None, catalog: Optional[Catalog] = None
+) -> IntervalEngine:
+    """Assemble the full system for one run.
+
+    ``catalog`` lets callers supply the (immutable) database; by
+    default the per-process memo is used so sweeps that only vary
+    workload fields share one build.
+    """
+    if catalog is None:
+        catalog = cached_catalog(config)
     stream = RandomStream(seed=config.seed)
     access = build_access(config, catalog, stream.fork(1))
     policy = build_policy(config, catalog, obs=obs)
@@ -206,15 +251,30 @@ def run_experiment(config: SimulationConfig, obs=None) -> SimulationResult:
 
 
 def run_sweep(
-    base: SimulationConfig, field: str, values: Sequence, obs=None
+    base: SimulationConfig,
+    field: str,
+    values: Sequence,
+    obs=None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[SimulationResult]:
-    """Run ``base`` once per value of ``field``."""
+    """Run ``base`` once per value of ``field``.
+
+    ``jobs`` fans the runs across a worker pool and ``cache`` (a
+    :class:`repro.exec.ResultCache`) memoises finished runs; both
+    leave the returned results byte-identical to a plain serial
+    sweep (see docs/parallel_execution.md).
+    """
+    from repro.exec import execute, experiment_spec, records_to_results
+
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    return [
-        run_experiment(base.with_(**{field: value}), obs=obs)
+    specs = [
+        experiment_spec(base.with_(**{field: value}))
         for value in values
     ]
+    records = execute(specs, jobs=jobs, cache=cache, obs=obs)
+    return records_to_results(records)
 
 
 def sweep_table(results: Iterable[SimulationResult]) -> List[Dict[str, float]]:

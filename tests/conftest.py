@@ -10,6 +10,22 @@ from repro.sim.kernel import Simulation
 from repro.sim.rng import RandomStream
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/golden/data "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep CLI/executor default caching out of the repository tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulation:
     """A fresh simulation kernel."""

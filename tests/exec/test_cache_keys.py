@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for cache keys.
+
+The contract: equal specs hash equal; any single-field perturbation
+changes the key; keys do not depend on dict ordering, process
+identity, or ``PYTHONHASHSEED``; and the code-version salt feeds the
+key (so editing the simulator invalidates the cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.exec import RunSpec, experiment_spec, spec_digest  # noqa: E402
+from repro.exec.hashing import CODE_SALT_ENV, canonical_json  # noqa: E402
+from repro.media.tape_layout import TapeOrder  # noqa: E402
+from repro.simulation.config import ScaledConfig  # noqa: E402
+
+#: Single-field perturbations of the base config, each yielding a
+#: valid configuration (base: ScaledConfig(50) — D=20, M=5).
+PERTURBATIONS = [
+    ("num_disks", 40),
+    ("num_objects", 41),
+    ("num_subobjects", 61),
+    ("num_stations", 17),
+    ("access_mean", 0.3),
+    ("access_mean", None),
+    ("seed", 43),
+    ("technique", "staggered"),
+    ("stride", 1),
+    ("warmup_intervals", 121),
+    ("measure_intervals", 601),
+    ("think_intervals", 1),
+    ("preload", False),
+    ("fill_factor", 0.9),
+    ("replacement", "lru"),
+    ("queue_discipline", "sjf"),
+    ("replication_threshold", 2),
+    ("replication_source", "tertiary"),
+    ("tape_order", TapeOrder.SEQUENTIAL),
+    ("fragment_cylinders", 2),
+    ("tertiary_bandwidth", 41.0),
+    ("tertiary_reposition", 6.0),
+]
+
+#: Workload overrides safe to combine in any subset.
+FREE_OVERRIDES = {
+    "num_stations": st.integers(min_value=1, max_value=64),
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    "access_mean": st.one_of(
+        st.none(), st.floats(min_value=0.05, max_value=5.0,
+                             allow_nan=False, allow_infinity=False)
+    ),
+    "warmup_intervals": st.integers(min_value=0, max_value=500),
+    "measure_intervals": st.integers(min_value=1, max_value=2000),
+    "preload": st.booleans(),
+    "replacement": st.sampled_from(["lfu", "lru"]),
+}
+
+
+def base_config():
+    return ScaledConfig(scale=50)
+
+
+overrides_strategy = st.fixed_dictionaries(
+    {}, optional=FREE_OVERRIDES
+)
+
+
+class TestEqualSpecsHashEqual:
+    @given(overrides=overrides_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_configs_identical_keys(self, overrides):
+        first = experiment_spec(base_config().with_(**overrides))
+        second = experiment_spec(base_config().with_(**overrides))
+        assert first.config is not second.config
+        assert spec_digest(first) == spec_digest(second)
+
+    def test_label_is_not_part_of_the_key(self):
+        config = base_config()
+        assert spec_digest(experiment_spec(config, label="a")) == spec_digest(
+            experiment_spec(config, label="b")
+        )
+
+    @given(
+        params=st.dictionaries(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            st.integers(min_value=0, max_value=9),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_params_dict_order_irrelevant(self, params):
+        reversed_params = dict(reversed(list(params.items())))
+        first = RunSpec(kind="mixed_media", params=params)
+        second = RunSpec(kind="mixed_media", params=reversed_params)
+        assert spec_digest(first) == spec_digest(second)
+
+
+class TestPerturbationsChangeKey:
+    @given(perturbation=st.sampled_from(PERTURBATIONS))
+    @settings(max_examples=len(PERTURBATIONS), deadline=None)
+    def test_single_field_perturbation_changes_key(self, perturbation):
+        field, value = perturbation
+        config = base_config()
+        assert getattr(config, field) != value
+        perturbed = config.with_(**{field: value})
+        assert spec_digest(experiment_spec(config)) != spec_digest(
+            experiment_spec(perturbed)
+        )
+
+    def test_every_config_field_is_hashed(self):
+        """No config field may be invisible to the cache key."""
+        from repro.exec.hashing import canonical
+
+        hashed = set(canonical(base_config()))
+        declared = {f.name for f in dataclasses.fields(base_config())}
+        assert hashed == declared
+
+    def test_kind_is_part_of_the_key(self):
+        params = {"value": 1}
+        assert spec_digest(RunSpec(kind="mixed_media", params=params)) != (
+            spec_digest(RunSpec(kind="fairness", params=params))
+        )
+
+    @given(
+        field=st.sampled_from(sorted(FREE_OVERRIDES)),
+        perturbation=st.sampled_from(PERTURBATIONS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perturbations_compose(self, field, perturbation):
+        """Perturbing a second field never collides back."""
+        pfield, pvalue = perturbation
+        if pfield == field:
+            return
+        config = base_config()
+        perturbed = config.with_(**{pfield: pvalue})
+        assert spec_digest(experiment_spec(config)) != spec_digest(
+            experiment_spec(perturbed)
+        )
+
+
+class TestStability:
+    def test_code_salt_changes_key(self, monkeypatch):
+        config = base_config()
+        before = spec_digest(experiment_spec(config))
+        monkeypatch.setenv(CODE_SALT_ENV, "pretend-the-code-changed")
+        after = spec_digest(experiment_spec(config))
+        assert before != after
+
+    def test_stable_across_process_restarts(self, monkeypatch):
+        """A fresh interpreter — under a different PYTHONHASHSEED —
+        computes the same digest for the same spec."""
+        monkeypatch.setenv(CODE_SALT_ENV, "fixed-salt-for-restart-test")
+        here = spec_digest(experiment_spec(base_config()))
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        program = (
+            "from repro.exec import experiment_spec, spec_digest\n"
+            "from repro.simulation.config import ScaledConfig\n"
+            "print(spec_digest(experiment_spec(ScaledConfig(scale=50))))\n"
+        )
+        for hashseed in ("0", "424242"):
+            out = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, check=True,
+                env={
+                    "PYTHONPATH": src,
+                    "PYTHONHASHSEED": hashseed,
+                    CODE_SALT_ENV: "fixed-salt-for-restart-test",
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            assert out.stdout.strip() == here
+
+    @given(overrides=overrides_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_canonical_json_round_trips_via_json(self, overrides):
+        """The canonical form is genuine JSON (cache files stay
+        readable) and re-canonicalising is a fixed point."""
+        import json
+
+        spec = experiment_spec(base_config().with_(**overrides))
+        from repro.exec.hashing import canonical
+
+        document = canonical(spec.config)
+        assert json.loads(canonical_json(document)) == document

@@ -1,0 +1,67 @@
+"""The golden-fixture comparison machinery.
+
+``golden("name", rows)`` compares ``rows`` against
+``tests/golden/data/name.json`` byte-for-byte (via the executor's
+canonical JSON).  Run ``pytest --update-goldens`` to rewrite the
+fixtures after an intentional change.  On mismatch, the expected and
+actual documents plus a unified diff land in ``golden-diff/`` at the
+repository root so CI can upload them as an artifact.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import canonical_json
+
+GOLDEN_DATA = Path(__file__).parent / "data"
+DIFF_DIR = Path(__file__).resolve().parents[2] / "golden-diff"
+
+
+def _pretty(document) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture
+def golden(request):
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, rows) -> None:
+        path = GOLDEN_DATA / f"{name}.json"
+        actual = json.loads(canonical_json(rows))
+        if update:
+            GOLDEN_DATA.mkdir(parents=True, exist_ok=True)
+            path.write_text(_pretty(actual))
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden fixture {path}; "
+                "run `pytest --update-goldens` to create it"
+            )
+        expected = json.loads(path.read_text())
+        if canonical_json(expected) == canonical_json(actual):
+            return
+        DIFF_DIR.mkdir(exist_ok=True)
+        expected_text = _pretty(expected)
+        actual_text = _pretty(actual)
+        (DIFF_DIR / f"{name}.expected.json").write_text(expected_text)
+        (DIFF_DIR / f"{name}.actual.json").write_text(actual_text)
+        diff = "".join(
+            difflib.unified_diff(
+                expected_text.splitlines(keepends=True),
+                actual_text.splitlines(keepends=True),
+                fromfile=f"{name}.expected.json",
+                tofile=f"{name}.actual.json",
+            )
+        )
+        (DIFF_DIR / f"{name}.diff").write_text(diff)
+        pytest.fail(
+            f"golden mismatch for {name!r} "
+            f"(diff written to {DIFF_DIR / (name + '.diff')}):\n{diff}"
+        )
+
+    return check

@@ -1,0 +1,49 @@
+"""Pin the paper-scale transcripts as golden JSON fixtures.
+
+``figure8_full_output.txt`` and ``table4_tertiary_output.txt`` are the
+checked-in full-scale (scale 1) runs — too slow to rerun in CI, so the
+fixtures pin the parsed transcripts instead.  If either transcript is
+regenerated, refresh with ``pytest --update-goldens``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.golden.parsers import parse_figure8_output, parse_table4_output
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIGURE8_TXT = REPO_ROOT / "figure8_full_output.txt"
+TABLE4_TXT = REPO_ROOT / "table4_tertiary_output.txt"
+
+
+def _require(path: Path) -> str:
+    if not path.exists():
+        pytest.skip(f"{path.name} not present")
+    return path.read_text()
+
+
+def test_figure8_full_scale_golden(golden):
+    rows = parse_figure8_output(_require(FIGURE8_TXT))
+    # 3 access-skew curves x 2 techniques x 9 station counts.
+    assert len(rows) == 54
+    golden("figure8_full", rows)
+
+
+def test_table4_full_scale_golden(golden):
+    rows = parse_table4_output(_require(TABLE4_TXT))
+    assert [row["stations"] for row in rows] == [16, 64, 128, 256]
+    golden("table4_full", rows)
+
+
+def test_figure8_parser_shape():
+    """The parser emits exactly the figure8_rows() schema."""
+    rows = parse_figure8_output(_require(FIGURE8_TXT))
+    assert set(rows[0]) == {
+        "mean", "technique", "stations", "displays_per_hour",
+        "hit_rate", "tertiary_util", "latency_s",
+    }
+    assert {row["technique"] for row in rows} == {"simple", "vdr"}
+    assert sorted({row["mean"] for row in rows}) == [10.0, 20.0, 43.5]

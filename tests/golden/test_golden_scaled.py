@@ -1,0 +1,41 @@
+"""Golden regression on live scaled runs of Figure 8 and Table 4.
+
+These run the real simulator at scale 50 (seconds, not minutes) and
+compare the emitted rows byte-for-byte against checked-in fixtures.
+The CI matrix sets ``REPRO_EXEC_JOBS`` so the same goldens gate both
+the serial and the parallel executor paths — any scheduling- or
+caching-induced drift fails here first.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exec import ResultCache
+from repro.experiments.figure8 import figure8_rows, run_figure8
+from repro.experiments.table4 import run_table4
+
+JOBS = int(os.environ.get("REPRO_EXEC_JOBS", "1"))
+SCALE = 50
+
+
+def test_figure8_scale50_golden(golden):
+    rows = figure8_rows(run_figure8(scale=SCALE, jobs=JOBS))
+    # 3 means x 2 techniques x stations [1, 2, 5].
+    assert len(rows) == 18
+    golden("figure8_scale50", rows)
+
+
+def test_table4_scale50_golden(golden):
+    rows = run_table4(scale=SCALE, jobs=JOBS)
+    golden("table4_scale50", rows)
+
+
+def test_figure8_scale50_golden_from_warm_cache(tmp_path, golden):
+    """Cache-served rows hit the same golden as freshly simulated ones."""
+    cache = ResultCache(tmp_path / "cache")
+    run_figure8(scale=SCALE, jobs=JOBS, cache=cache)
+    assert cache.misses > 0
+    rows = figure8_rows(run_figure8(scale=SCALE, jobs=JOBS, cache=cache))
+    assert cache.hits >= 18
+    golden("figure8_scale50", rows)
