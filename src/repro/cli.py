@@ -7,6 +7,7 @@ Commands
 ``sweep``         a station sweep for one technique
 ``figure8``       the Figure 8 grid (both techniques, all skews)
 ``table4``        the Table 4 improvement matrix
+``faults``        availability grid: MTTF sweep × technique × redundancy
 ``sweep-status``  summarise the on-disk result cache
 ``obs-report``    summarise a ``--metrics`` file (or convert a trace)
 
@@ -32,8 +33,14 @@ from repro.exec import (
     cache_status_rows,
     execute,
     experiment_spec,
+    format_bytes,
     records_to_results,
     resolve_cache_dir,
+)
+from repro.experiments.faults import (
+    DEFAULT_MTTF_VALUES,
+    faults_rows,
+    run_faults_grid,
 )
 from repro.experiments.figure8 import (
     base_config,
@@ -126,6 +133,42 @@ def _add_workload(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stride", type=int, default=None)
 
 
+def _fail_at_pair(value: str) -> tuple:
+    """Parse one ``--fail-at DISK:INTERVAL`` operand."""
+    disk, sep, interval = value.partition(":")
+    if not sep or not disk.isdigit() or not interval.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"fail-at must look like DISK:INTERVAL, got {value!r}"
+        )
+    return (int(disk), int(interval))
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument("--mttf", type=float, default=None, metavar="INTERVALS",
+                       help="mean time to failure per drive (intervals; "
+                            "omit for a fault-free run)")
+    group.add_argument("--mttr", type=float, default=None, metavar="INTERVALS",
+                       help="mean time to repair (intervals; omit to leave "
+                            "failed drives down)")
+    group.add_argument("--redundancy", default=None,
+                       choices=["none", "mirror", "parity"],
+                       help="scheme degraded reads reconstruct from "
+                            "(default: none)")
+    group.add_argument("--parity-group", type=int, default=None, metavar="G",
+                       help="drives per parity group (default: 4)")
+    group.add_argument("--rebuild-rate", type=int, default=None, metavar="H",
+                       help="half-slots/interval the online rebuild may "
+                            "claim (default: 1)")
+    group.add_argument("--on-fault", default=None,
+                       choices=["hiccup", "abort"],
+                       help="unreconstructable read: tally a hiccup or "
+                            "abort the display (default: hiccup)")
+    group.add_argument("--fail-at", type=_fail_at_pair, nargs="*",
+                       default=None, metavar="DISK:INTERVAL",
+                       help="scripted failures, e.g. --fail-at 3:100 7:250")
+
+
 def _config(args) -> SimulationConfig:
     config = base_config(args.scale).with_(seed=args.seed)
     if getattr(args, "technique", None):
@@ -138,6 +181,18 @@ def _config(args) -> SimulationConfig:
         config = config.with_(access_mean=None)
     elif getattr(args, "mean", None) is not None:
         config = config.with_(access_mean=args.mean)
+    for flag, field in (
+        ("mttf", "mttf"),
+        ("mttr", "mttr"),
+        ("redundancy", "redundancy"),
+        ("parity_group", "parity_group"),
+        ("rebuild_rate", "rebuild_rate"),
+        ("on_fault", "on_fault"),
+        ("fail_at", "fail_at"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            config = config.with_(**{field: tuple(value) if field == "fail_at" else value})
     return config
 
 
@@ -230,10 +285,26 @@ def cmd_table4(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    obs = _observability(args)
+    points = run_faults_grid(
+        scale=args.scale,
+        mttf_values=args.values or None,
+        mttr=args.mttr,
+        obs=obs, jobs=args.jobs, cache=_cache(args),
+    )
+    _emit(faults_rows(points), args.output)
+    _finish_obs(obs)
+    return 0
+
+
 def cmd_sweep_status(args) -> int:
     cache = ResultCache(resolve_cache_dir(args.cache_dir))
     entries = len(cache)
-    print(f"cache: {cache.root} ({entries} entries)")
+    print(
+        f"cache: {cache.root} ({entries} entries, "
+        f"{format_bytes(cache.size_bytes())} on disk)"
+    )
     if entries:
         print(format_table(cache_status_rows(cache)))
     if args.clear:
@@ -276,14 +347,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one experiment")
     _add_common(p_run)
     _add_workload(p_run)
+    _add_faults(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="sweep station counts")
     _add_common(p_sweep)
     _add_workload(p_sweep)
+    _add_faults(p_sweep)
     p_sweep.add_argument("--values", type=int, nargs="*", default=None,
                          help="station counts (default: Figure 8's axis)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="availability grid: MTTF sweep × technique × redundancy",
+    )
+    _add_common(p_faults)
+    p_faults.add_argument("--values", type=float, nargs="*", default=None,
+                          help="MTTF values in intervals (default: "
+                               f"{', '.join(str(v) for v in DEFAULT_MTTF_VALUES)})")
+    p_faults.add_argument("--mttr", type=float, default=None,
+                          metavar="INTERVALS",
+                          help="mean time to repair (default: mttf/10)")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_fig8 = sub.add_parser("figure8", help="reproduce Figure 8")
     _add_common(p_fig8)

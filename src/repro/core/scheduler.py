@@ -144,6 +144,9 @@ class StaggeredStripingPolicy(StoragePolicy):
         self._n_admitted = 0
         self._n_materializations = 0
 
+        # Fault coordinator (attach_faults); None = fault-free hooks
+        # are skipped and the run is byte-identical to the seed.
+        self.faults = None
         self._queue: List[_QueueEntry] = []
         self._active: Dict[int, Display] = {}
         self._display_request: Dict[int, Request] = {}
@@ -203,14 +206,22 @@ class StaggeredStripingPolicy(StoragePolicy):
             )
         self._queue.append(entry)
 
+    def attach_faults(self, coordinator) -> None:
+        """Install a fault coordinator (see :mod:`repro.faults`)."""
+        self.faults = coordinator
+
     def advance(self, interval: int) -> List[Completion]:
         """One interval: releases, tertiary progress, admission,
         completions."""
         self.intervals_advanced += 1
+        if self.faults is not None:
+            self.faults.begin_interval(interval)
         self._process_lane_releases(interval)
         self._process_tertiary(interval)
         self._retry_deferred_placements(interval)
         self._admission_pass(interval)
+        if self.faults is not None:
+            self.faults.settle(interval)
         completions = self._process_completions(interval)
         self.queue_length_sum += len(self._queue)
         return completions
@@ -226,15 +237,21 @@ class StaggeredStripingPolicy(StoragePolicy):
         obs = self.obs
         self.intervals_advanced += 1
         if interval % self._obs_stride:
+            if self.faults is not None:
+                self.faults.begin_interval(interval)
             self._process_lane_releases(interval)
             self._process_tertiary(interval)
             self._retry_deferred_placements(interval)
             self._admission_pass(interval)
+            if self.faults is not None:
+                self.faults.settle(interval)
             completions = self._process_completions(interval)
             self.queue_length_sum += len(self._queue)
             return completions
         profiler = obs.profiler
         t0 = perf_counter()
+        if self.faults is not None:
+            self.faults.begin_interval(interval)
         self._process_lane_releases(interval)
         t1 = perf_counter()
         profiler.add("scheduler.lane_releases", t1 - t0)
@@ -243,6 +260,8 @@ class StaggeredStripingPolicy(StoragePolicy):
         profiler.add("scheduler.tertiary", t2 - t1)
         self._retry_deferred_placements(interval)
         self._admission_pass(interval)
+        if self.faults is not None:
+            self.faults.settle(interval)
         t3 = perf_counter()
         profiler.add("scheduler.admission", t3 - t2)
         completions = self._process_completions(interval)
@@ -303,6 +322,8 @@ class StaggeredStripingPolicy(StoragePolicy):
                 self.intervals_advanced
             )
             report["tertiary_completed"] = float(self.tertiary_manager.completed)
+        if self.faults is not None:
+            report.update(self.faults.stats())
         return report
 
     # ------------------------------------------------------------------

@@ -51,5 +51,13 @@ class CapacityError(ReproError):
     """Storage capacity was exceeded and could not be reclaimed."""
 
 
+class FaultError(ReproError):
+    """A fault-tolerance invariant was violated.
+
+    Examples: claiming bandwidth on a failed drive, failing a drive
+    that is already down, or repairing a healthy one.
+    """
+
+
 class LayoutError(ReproError):
     """A data-placement (striping layout) request was invalid."""

@@ -19,6 +19,7 @@ from repro.exec.cache import (
     DEFAULT_CACHE_DIR,
     ResultCache,
     cache_status_rows,
+    format_bytes,
     resolve_cache_dir,
 )
 from repro.exec.executor import (
@@ -38,6 +39,7 @@ __all__ = [
     "RunSpec",
     "SweepFailure",
     "cache_status_rows",
+    "format_bytes",
     "canonical",
     "canonical_json",
     "code_salt",

@@ -52,6 +52,19 @@ class ResultCache:
             return 0
         return sum(1 for _ in objects.glob("*/*.json"))
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries, in bytes."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        total = 0
+        for path in objects.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def path_for(self, digest: str) -> Path:
         """Where the record for ``digest`` lives (existing or not)."""
         return self.root / "objects" / digest[:2] / f"{digest}.json"
@@ -117,6 +130,18 @@ class ResultCache:
             except OSError:
                 continue
         return removed
+
+
+def format_bytes(size: int) -> str:
+    """A human-readable byte count (``"1.2 MiB"``)."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TiB"
 
 
 def cache_status_rows(cache: ResultCache) -> List[Dict[str, Any]]:

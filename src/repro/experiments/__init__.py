@@ -7,6 +7,7 @@ experiment index.
 """
 
 from repro.experiments import (
+    faults,
     figure8,
     latency_profile,
     layouts,
@@ -18,6 +19,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "faults",
     "figure8",
     "latency_profile",
     "layouts",

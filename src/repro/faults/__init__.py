@@ -1,0 +1,78 @@
+"""Fault tolerance: failure injection, degraded mode, online rebuild.
+
+The paper assumes an always-healthy array; this package drops that
+assumption.  Three cooperating pieces:
+
+* :class:`~repro.faults.injector.FaultInjector` — a deterministic
+  failure/repair schedule driven by a dedicated seeded RNG substream
+  (exponential MTTF/MTTR per drive) plus scripted ``fail(disk, t)``
+  scenarios.
+* :class:`~repro.faults.coordinator.FaultCoordinator` (striping) and
+  :class:`~repro.faults.coordinator.ClusterFaultCoordinator` (VDR) —
+  degraded-mode service: a failed drive's half-slots go to zero, reads
+  that land on it reconstruct from the configured redundancy scheme at
+  the cost of extra slot claims on the survivors, or tally a
+  hiccup/abort per policy.
+* the **online rebuild** inside the coordinators — after repair, the
+  drive's lost fragments are restored at a tunable half-slot/interval
+  rate cap, competing with displays for interval bandwidth.
+
+All of it is gated on :attr:`SimulationConfig.faults_enabled`: with
+``mttf=None`` and no scripted failures, no coordinator is built and
+every run stays byte-identical to the seed.
+"""
+
+from repro.faults.coordinator import ClusterFaultCoordinator, FaultCoordinator
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.redundancy import (
+    mirror_partner,
+    parity_group_members,
+    survivors_of,
+)
+
+__all__ = [
+    "ClusterFaultCoordinator",
+    "FaultCoordinator",
+    "FaultEvent",
+    "FaultInjector",
+    "build_coordinator",
+    "mirror_partner",
+    "parity_group_members",
+    "survivors_of",
+]
+
+
+def build_coordinator(config, policy, obs=None):
+    """The configured fault coordinator for ``policy``.
+
+    Returns ``None`` when faults are disabled — the policies then skip
+    every fault hook and the run is byte-identical to one built before
+    this package existed.
+    """
+    from repro.sim.rng import RandomStream
+
+    if not config.faults_enabled:
+        return None
+    # A dedicated named substream: fault draws can never perturb the
+    # workload stream (``fork(1)``) or any future subsystem's draws.
+    stream = RandomStream(seed=config.seed).substream("faults")
+    injector = FaultInjector(
+        num_disks=config.num_disks,
+        stream=stream,
+        mttf=config.mttf,
+        mttr=config.mttr,
+        fail_at=config.fail_at,
+    )
+    common = dict(
+        redundancy=config.redundancy,
+        parity_group=config.parity_group,
+        rebuild_rate=config.rebuild_rate,
+        on_fault=config.on_fault,
+        obs=obs,
+    )
+    if config.technique == "vdr":
+        return ClusterFaultCoordinator(policy, injector, **common)
+    return FaultCoordinator(
+        policy, injector,
+        fragment_cylinders=config.fragment_cylinders, **common,
+    )

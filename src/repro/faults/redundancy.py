@@ -1,0 +1,71 @@
+"""Redundancy schemes: who stands in for a failed drive.
+
+Two schemes from the related disk-array literature (Thomasian's
+mirrored/hybrid arrays, the HDA multi-RAID work):
+
+* **mirror** — drives pair up as ``(0,1), (2,3), …``; a degraded read
+  of drive ``d`` is served entirely by its partner ``d ^ 1``.
+* **parity** — drives form groups of ``G`` consecutive indices; a
+  degraded read of one member must read *every other* member of the
+  group to XOR the lost fragment back.
+
+A scheme answers one question per degraded read: *which healthy drives
+must contribute a half-slot so this fragment can be reconstructed?*
+``None`` means the fragment is unrecoverable this interval (no scheme
+configured, the partner is also down, or a second failure inside the
+parity group) and the read becomes a hiccup or abort.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+def mirror_partner(disk: int) -> int:
+    """The mirrored pair-mate of ``disk`` (pairs ``(0,1), (2,3), …``)."""
+    return disk ^ 1
+
+
+def parity_group_members(disk: int, group_size: int, num_disks: int) -> List[int]:
+    """All members of ``disk``'s parity group (including ``disk``).
+
+    Groups are ``group_size`` consecutive drives; a trailing group may
+    be smaller when ``group_size`` does not divide ``num_disks``.
+    """
+    if group_size < 2:
+        raise ConfigurationError(f"parity group must be >= 2, got {group_size}")
+    first = (disk // group_size) * group_size
+    return list(range(first, min(first + group_size, num_disks)))
+
+
+def survivors_of(
+    disk: int,
+    scheme: str,
+    num_disks: int,
+    parity_group: int = 4,
+    is_failed: Optional[Callable[[int], bool]] = None,
+) -> Optional[List[int]]:
+    """Healthy drives a degraded read of ``disk`` must touch.
+
+    Returns ``None`` when the fragment cannot be reconstructed.
+    """
+    if scheme == "none":
+        return None
+    down = is_failed if is_failed is not None else (lambda _d: False)
+    if scheme == "mirror":
+        partner = mirror_partner(disk)
+        if partner >= num_disks or down(partner):
+            return None
+        return [partner]
+    if scheme == "parity":
+        members = [
+            d
+            for d in parity_group_members(disk, parity_group, num_disks)
+            if d != disk
+        ]
+        if not members or any(down(d) for d in members):
+            return None
+        return members
+    raise ConfigurationError(f"unknown redundancy scheme {scheme!r}")

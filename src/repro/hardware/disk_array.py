@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.errors import CapacityError, ConfigurationError, FaultError, SchedulingError
 from repro.hardware.disk import DiskModel
 
 #: Bandwidth slots per drive per interval (two half-slots).
@@ -29,6 +29,8 @@ class DiskState:
     used_cylinders: float = 0.0
     #: Half-slots claimed in the current interval, keyed by owner.
     claims: Dict[Hashable, int] = field(default_factory=dict)
+    #: True while the drive is down (failed, not yet rebuilt).
+    failed: bool = False
 
     @property
     def claimed_slots(self) -> int:
@@ -37,7 +39,13 @@ class DiskState:
 
     @property
     def free_slots(self) -> int:
-        """Half-slots still available in the current interval."""
+        """Half-slots still available in the current interval.
+
+        A failed drive delivers nothing: its half-slots are gone until
+        it is repaired and rebuilt.
+        """
+        if self.failed:
+            return 0
         return SLOTS_PER_DISK - self.claimed_slots
 
 
@@ -137,11 +145,17 @@ class DiskArray:
         """Claim ``slots`` half-slots of ``disk`` for ``owner``.
 
         A full-bandwidth fragment read claims both half-slots; a
-        low-bandwidth (§3.2.3) read claims one.
+        low-bandwidth (§3.2.3) read claims one.  Claims against a
+        failed drive are rejected outright.
         """
         if slots < 1 or slots > SLOTS_PER_DISK:
             raise SchedulingError(f"claim of {slots} half-slots is invalid")
         state = self.disks[disk]
+        if state.failed:
+            raise FaultError(
+                f"disk {disk} is failed; cannot claim {slots} half-slots "
+                f"for {owner!r} in interval {self.intervals_elapsed}"
+            )
         if state.free_slots < slots:
             raise SchedulingError(
                 f"disk {disk} oversubscribed in interval "
@@ -155,6 +169,78 @@ class DiskArray:
         state = self.disks[disk]
         slots = state.claims.pop(owner, 0)
         self._claimed_this_interval -= slots
+
+    # ------------------------------------------------------------------
+    # Failure / repair (degraded mode; see repro.faults)
+    # ------------------------------------------------------------------
+    def fail(self, disk: int) -> float:
+        """Mark drive ``disk`` failed; returns the cylinders it held.
+
+        The drive's half-slots drop to zero (its in-flight claims this
+        interval are dropped — those reads are the ones the fault
+        coordinator reconstructs or tallies as hiccups) and its
+        resident fragments are physically lost until rebuilt.  The
+        *logical* placement bookkeeping is untouched: the returned
+        cylinder count is exactly the rebuild work.
+        """
+        state = self.disks[disk]
+        if state.failed:
+            raise FaultError(f"disk {disk} is already failed")
+        dropped = state.claimed_slots
+        if dropped:
+            self._claimed_this_interval -= dropped
+            state.claims.clear()
+        state.failed = True
+        return state.used_cylinders
+
+    def repair(self, disk: int) -> None:
+        """Bring drive ``disk`` back online (hardware replaced).
+
+        The drive is immediately claimable again; restoring its data is
+        the rebuild process's job (:mod:`repro.faults`).
+        """
+        state = self.disks[disk]
+        if not state.failed:
+            raise FaultError(f"disk {disk} is not failed")
+        state.failed = False
+
+    def is_failed(self, disk: int) -> bool:
+        """True while drive ``disk`` is down."""
+        return self.disks[disk].failed
+
+    def failed_disks(self) -> List[int]:
+        """Indices of currently failed drives."""
+        return [d.index for d in self.disks if d.failed]
+
+    def reconstruction_claim(
+        self, failed_disk: int, owner: Hashable, survivors: List[int],
+        halves: int = 1,
+    ) -> None:
+        """Charge a degraded read of ``failed_disk`` to its survivors.
+
+        Reconstructing a fragment of the failed drive costs ``halves``
+        half-slots on *each* surviving member of its redundancy group
+        (the mirror partner, or every other drive of the parity
+        group).  The charge is atomic: either every survivor has the
+        bandwidth and all are claimed, or nothing is.
+        """
+        if not self.disks[failed_disk].failed:
+            raise FaultError(
+                f"disk {failed_disk} is healthy; nothing to reconstruct"
+            )
+        if not survivors:
+            raise FaultError(
+                f"disk {failed_disk} has no survivors to reconstruct from"
+            )
+        for survivor in survivors:
+            state = self.disks[survivor]
+            if state.failed or state.free_slots < halves:
+                raise SchedulingError(
+                    f"survivor {survivor} cannot absorb a {halves}-half "
+                    f"reconstruction claim for failed disk {failed_disk}"
+                )
+        for survivor in survivors:
+            self.claim(survivor, owner=owner, slots=halves)
 
     def idle_disks(self) -> List[int]:
         """Indices of fully idle drives this interval."""

@@ -75,6 +75,14 @@ class SimulationConfig:
     seed: int = 42
     preload: bool = True
     fill_factor: float = 1.0
+    # Fault tolerance (repro.faults).  All times are in *intervals*.
+    mttf: Optional[float] = None  # mean time to failure per drive; None = no random failures
+    mttr: Optional[float] = None  # mean time to repair; None = failed drives stay down
+    redundancy: str = "none"  # "none" | "mirror" | "parity"
+    parity_group: int = 4  # drives per parity group (redundancy="parity")
+    rebuild_rate: int = 1  # half-slots/interval the rebuild may steal
+    on_fault: str = "hiccup"  # unreconstructable read: "hiccup" | "abort"
+    fail_at: tuple = ()  # scripted ((disk, interval), ...) failures
 
     def __post_init__(self) -> None:
         if self.technique not in ("simple", "staggered", "vdr"):
@@ -98,6 +106,40 @@ class SimulationConfig:
                 f"{self.technique} needs D divisible by M: "
                 f"D={self.num_disks}, M={self.degree}"
             )
+        # Fault-tolerance knobs.
+        if self.redundancy not in ("none", "mirror", "parity"):
+            raise ConfigurationError(f"unknown redundancy {self.redundancy!r}")
+        if self.on_fault not in ("hiccup", "abort"):
+            raise ConfigurationError(f"unknown on_fault {self.on_fault!r}")
+        if self.mttf is not None and self.mttf <= 0:
+            raise ConfigurationError(f"mttf must be > 0 intervals, got {self.mttf}")
+        if self.mttr is not None and self.mttr <= 0:
+            raise ConfigurationError(f"mttr must be > 0 intervals, got {self.mttr}")
+        if self.rebuild_rate < 1:
+            raise ConfigurationError(
+                f"rebuild_rate must be >= 1 half-slot/interval, got {self.rebuild_rate}"
+            )
+        if self.redundancy == "parity" and not 2 <= self.parity_group <= self.num_disks:
+            raise ConfigurationError(
+                f"parity_group must be in 2..{self.num_disks}, got {self.parity_group}"
+            )
+        if self.redundancy == "mirror" and self.num_disks % 2:
+            raise ConfigurationError(
+                f"mirroring pairs drives; D must be even, got {self.num_disks}"
+            )
+        # Normalise fail_at to a hashable, validated tuple of pairs.
+        scripted = []
+        for entry in self.fail_at:
+            disk, interval = entry
+            disk, interval = int(disk), int(interval)
+            if not 0 <= disk < self.num_disks:
+                raise ConfigurationError(
+                    f"fail_at disk {disk} outside 0..{self.num_disks - 1}"
+                )
+            if interval < 0:
+                raise ConfigurationError(f"fail_at interval {interval} is negative")
+            scripted.append((disk, interval))
+        object.__setattr__(self, "fail_at", tuple(scripted))
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -162,15 +204,28 @@ class SimulationConfig:
         """Total database size in megabits."""
         return self.num_objects * self.object_size
 
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any failure source is configured."""
+        return self.mttf is not None or bool(self.fail_at)
+
     def describe(self) -> str:
         """One-line summary for logs and reports."""
         mean = "uniform" if self.access_mean is None else f"{self.access_mean:g}"
-        return (
+        line = (
             f"{self.technique} D={self.num_disks} M={self.degree} "
             f"k={'n/a' if self.technique == 'vdr' else self.effective_stride} "
             f"objects={self.num_objects}x{self.num_subobjects} "
             f"stations={self.num_stations} mean={mean}"
         )
+        if self.faults_enabled:
+            mttf = "scripted" if self.mttf is None else f"{self.mttf:g}"
+            mttr = "never" if self.mttr is None else f"{self.mttr:g}"
+            line += (
+                f" faults(mttf={mttf} mttr={mttr} "
+                f"redundancy={self.redundancy} on_fault={self.on_fault})"
+            )
+        return line
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced."""

@@ -92,6 +92,21 @@ def build_access(
     return GeometricAccess(catalog.object_ids, config.access_mean, stream)
 
 
+def build_faults(config: SimulationConfig, policy: StoragePolicy, obs=None):
+    """Attach the configured fault coordinator to ``policy``.
+
+    A no-op returning ``None`` when :attr:`SimulationConfig.
+    faults_enabled` is false — fault-free runs build exactly the
+    pre-fault system and stay byte-identical to the seed.
+    """
+    from repro.faults import build_coordinator
+
+    coordinator = build_coordinator(config, policy, obs=obs)
+    if coordinator is not None:
+        policy.attach_faults(coordinator)
+    return coordinator
+
+
 def build_policy(
     config: SimulationConfig, catalog: Catalog, obs=None
 ) -> StoragePolicy:
@@ -119,7 +134,7 @@ def build_policy(
             degree=config.degree,
             capacity_objects=cluster_capacity,
         )
-        return VirtualReplicationPolicy(
+        policy: StoragePolicy = VirtualReplicationPolicy(
             catalog=catalog,
             clusters=clusters,
             device=device,
@@ -129,6 +144,8 @@ def build_policy(
             replication_source=config.replication_source,
             obs=obs,
         )
+        build_faults(config, policy, obs=obs)
+        return policy
     array = DiskArray(model=config.disk, num_disks=config.num_disks)
     # Simple striping places at cluster boundaries; the degenerate
     # k = D stride pins objects to fixed drive groups, which must tile
@@ -166,7 +183,7 @@ def build_policy(
         if config.technique == "simple"
         else AdmissionMode.FRAGMENTED
     )
-    return StaggeredStripingPolicy(
+    policy = StaggeredStripingPolicy(
         catalog=catalog,
         disk_manager=disk_manager,
         object_manager=object_manager,
@@ -175,6 +192,8 @@ def build_policy(
         queue_discipline=config.queue_discipline,
         obs=obs,
     )
+    build_faults(config, policy, obs=obs)
+    return policy
 
 
 def preload_ids(config: SimulationConfig, access: AccessDistribution) -> List[int]:

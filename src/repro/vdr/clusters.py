@@ -27,10 +27,13 @@ class Cluster:
     busy_until: int = 0  # first interval the cluster is free again
     activity: Optional[str] = None  # "display" | "materialize" | "clone"
     active_object: Optional[int] = None
+    #: False while a member drive is down with no redundancy to cover
+    #: it (see repro.faults) — the cluster can start nothing.
+    available: bool = True
 
     def is_free(self, interval: int) -> bool:
         """True when the cluster can start a new activity."""
-        return interval >= self.busy_until
+        return self.available and interval >= self.busy_until
 
     @property
     def has_space(self) -> bool:

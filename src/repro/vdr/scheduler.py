@@ -101,6 +101,11 @@ class VirtualReplicationPolicy(StoragePolicy):
         # Event heap: (interval, seq, kind, cluster_index, payload)
         self._events: List[Tuple[int, int, str, int, object]] = []
         self._event_seq = 0
+        # Heap entries voided by the fault coordinator (heaps cannot
+        # remove; retirement skips these).  Fault coordinator itself:
+        # None = every fault hook is skipped.
+        self._cancelled_seqs: Set[int] = set()
+        self.faults = None
         # Statistics.
         self.completed = 0
         self.startup_latency = Tally(name="vdr.startup")
@@ -176,12 +181,20 @@ class VirtualReplicationPolicy(StoragePolicy):
             self._queue_materialization(object_id)
         self._queue.append(request)
 
+    def attach_faults(self, coordinator) -> None:
+        """Install a fault coordinator (see :mod:`repro.faults`)."""
+        self.faults = coordinator
+
     def advance(self, interval: int) -> List[Completion]:
         """One interval: retire activities, drive tertiary, admit."""
         self.intervals_advanced += 1
+        if self.faults is not None:
+            self.faults.begin_interval(interval)
         completions = self._retire_events(interval)
         self._drive_tertiary(interval)
         self._admission_pass(interval)
+        if self.faults is not None:
+            self.faults.settle(interval)
         if interval < self._tertiary_busy_until:
             self.tertiary_busy_intervals += 1
         self.queue_length_sum += len(self._queue)
@@ -225,7 +238,9 @@ class VirtualReplicationPolicy(StoragePolicy):
     def pending_count(self) -> int:
         """Queued requests plus active displays."""
         active = sum(
-            1 for _t, _s, kind, _c, _p in self._events if kind == "display"
+            1
+            for _t, seq, kind, _c, _p in self._events
+            if kind == "display" and seq not in self._cancelled_seqs
         )
         return len(self._queue) + active
 
@@ -248,7 +263,7 @@ class VirtualReplicationPolicy(StoragePolicy):
     def stats(self) -> Dict[str, float]:
         """Policy statistics for the result report."""
         total = self.hits + self.misses
-        return {
+        report = {
             "completed_displays": float(self.completed),
             "mean_startup_latency_intervals": self.startup_latency.mean,
             "max_startup_latency_intervals": (
@@ -269,6 +284,9 @@ class VirtualReplicationPolicy(StoragePolicy):
             ),
             "resident_objects": float(len(self.clusters.copies)),
         }
+        if self.faults is not None:
+            report.update(self.faults.stats())
+        return report
 
     # ------------------------------------------------------------------
     # Internals
@@ -284,7 +302,12 @@ class VirtualReplicationPolicy(StoragePolicy):
     def _retire_events(self, interval: int) -> List[Completion]:
         completions: List[Completion] = []
         while self._events and self._events[0][0] <= interval:
-            _t, _seq, kind, cluster_index, payload = heapq.heappop(self._events)
+            _t, seq, kind, cluster_index, payload = heapq.heappop(self._events)
+            if seq in self._cancelled_seqs:
+                # Voided by a fault (the cluster was freed or lost at
+                # cancellation time — don't touch its current state).
+                self._cancelled_seqs.discard(seq)
+                continue
             cluster = self.clusters.clusters[cluster_index]
             cluster.finish()
             if kind == "display":

@@ -48,6 +48,16 @@ PERTURBATIONS = [
     ("fragment_cylinders", 2),
     ("tertiary_bandwidth", 41.0),
     ("tertiary_reposition", 6.0),
+    # Fault tolerance: a cached fault-free run must never be served
+    # for a faulty one (see also tests/faults/test_fault_determinism).
+    ("mttf", 500.0),
+    ("mttr", 50.0),
+    ("redundancy", "mirror"),
+    ("redundancy", "parity"),
+    ("parity_group", 5),
+    ("rebuild_rate", 2),
+    ("on_fault", "abort"),
+    ("fail_at", ((3, 100),)),
 ]
 
 #: Workload overrides safe to combine in any subset.

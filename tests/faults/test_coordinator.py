@@ -1,0 +1,149 @@
+"""Scenario tests for degraded-mode service and online rebuild.
+
+Each test runs a full scaled simulation with a scripted single-drive
+failure (``fail_at=((3, 100),)``, repaired after ~40 intervals) and
+asserts over the availability metrics the coordinators thread into
+``policy_stats``.  Loads are deliberately partial (2 of the array's
+stations): rebuild and reconstruction compete for leftover interval
+bandwidth, and a saturated array leaves none.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.simulation.config import ScaledConfig
+from repro.simulation.runner import run_experiment
+
+
+SCENARIO = dict(
+    access_mean=0.2,
+    num_stations=2,
+    fail_at=((3, 100),),
+    mttr=40.0,
+    rebuild_rate=2,
+)
+
+
+def scenario_config(**overrides):
+    return ScaledConfig(scale=50).with_(**{**SCENARIO, **overrides})
+
+
+def fault_stats(config):
+    result = run_experiment(config)
+    assert result.completed > 0  # the system keeps serving throughout
+    return result, result.policy_stats
+
+
+class TestStripingDegradedMode:
+    def test_scripted_failure_repairs_and_rebuilds_cleanly(self):
+        _, stats = fault_stats(scenario_config(technique="staggered"))
+        assert stats["fault_failures"] == 1.0
+        assert stats["fault_repairs"] == 1.0
+        assert stats["fault_rebuilds_completed"] == 1.0
+        assert stats["fault_rebuild_intervals"] > 0
+        assert stats["fault_mean_rebuild_intervals"] > 40.0  # repair + rebuild
+        assert stats["fault_degraded_intervals"] > 0
+        assert stats["fault_effective_bandwidth"] < 1.0
+
+    def test_no_redundancy_reads_become_hiccups(self):
+        _, stats = fault_stats(scenario_config(technique="staggered"))
+        assert stats["fault_reconstructions"] == 0.0
+        assert stats["fault_hiccups"] > 0
+        assert stats["fault_aborts"] == 0.0
+        assert stats["fault_hiccups_per_failure"] == stats["fault_hiccups"]
+
+    def test_mirror_reconstruction_absorbs_some_reads(self):
+        plain = fault_stats(scenario_config(technique="staggered"))[1]
+        mirrored = fault_stats(
+            scenario_config(technique="staggered", redundancy="mirror")
+        )[1]
+        assert mirrored["fault_reconstructions"] > 0
+        # Every reconstructed read is a hiccup the viewer never saw.
+        assert mirrored["fault_hiccups"] == (
+            plain["fault_hiccups"] - mirrored["fault_reconstructions"]
+        )
+
+    def test_abort_policy_requeues_and_keeps_serving(self):
+        result, stats = fault_stats(
+            scenario_config(technique="staggered", on_fault="abort")
+        )
+        assert stats["fault_aborts"] > 0
+        assert stats["fault_hiccups"] == 0.0
+        # The aborted displays' requests re-entered the queue: the
+        # closed-loop stations never stall and the run still completes
+        # displays afterwards.
+        assert result.throughput_per_hour > 0
+
+    def test_parity_with_saturated_survivors_falls_back_to_hiccups(self):
+        """Simple striping reads at full bandwidth, so the parity
+        group's survivors have no spare half-slots — redundancy only
+        pays when the survivors do."""
+        _, stats = fault_stats(
+            scenario_config(technique="simple", redundancy="parity")
+        )
+        assert stats["fault_failures"] == 1.0
+        assert stats["fault_reconstructions"] == 0.0
+        assert stats["fault_hiccups"] > 0
+
+    def test_identical_configs_identical_fault_stats(self):
+        config = scenario_config(technique="staggered", redundancy="mirror")
+        first = run_experiment(config).policy_stats
+        second = run_experiment(config).policy_stats
+        assert first == second
+
+
+class TestVdrDegradedMode:
+    def test_no_redundancy_cluster_limps_hiccuping(self):
+        _, stats = fault_stats(scenario_config(technique="vdr"))
+        assert stats["fault_failures"] == 1.0
+        assert stats["fault_repairs"] == 1.0
+        assert stats["fault_hiccups"] > 0
+        assert stats["fault_reconstructions"] == 0.0
+
+    def test_mirror_cluster_keeps_serving_without_hiccups(self):
+        _, stats = fault_stats(
+            scenario_config(technique="vdr", redundancy="mirror")
+        )
+        assert stats["fault_reconstructions"] > 0
+        assert stats["fault_hiccups"] == 0.0
+        # Redundancy held, so the repaired drive's fragments rebuild
+        # (yielding to displays; under load it may still be going).
+        assert stats["fault_rebuild_intervals"] > 0
+
+    def test_abort_policy_cancels_the_active_display(self):
+        _, stats = fault_stats(
+            scenario_config(technique="vdr", on_fault="abort")
+        )
+        assert stats["fault_aborts"] >= 1.0
+        assert stats["fault_hiccups"] == 0.0
+
+
+class TestGating:
+    def test_fault_free_run_reports_no_fault_stats(self):
+        config = ScaledConfig(scale=50).with_(access_mean=0.2, num_stations=2)
+        assert not config.faults_enabled
+        result = run_experiment(config)
+        assert not any(k.startswith("fault_") for k in result.policy_stats)
+
+    def test_fault_run_reports_every_metric(self):
+        _, stats = fault_stats(scenario_config(technique="staggered"))
+        expected = {
+            "fault_failures", "fault_repairs", "fault_hiccups",
+            "fault_aborts", "fault_reconstructions",
+            "fault_background_disruptions", "fault_degraded_intervals",
+            "fault_rebuild_intervals", "fault_rebuilds_completed",
+            "fault_mean_rebuild_intervals", "fault_hiccups_per_failure",
+            "fault_effective_bandwidth",
+        }
+        assert expected <= set(stats)
+
+    @pytest.mark.parametrize("technique", ["simple", "staggered", "vdr"])
+    def test_observability_carries_fault_counters(self, technique):
+        obs = Observability(level="metrics")
+        result = run_experiment(scenario_config(technique=technique), obs=obs)
+        metrics = result.observation["metrics"]
+        assert metrics["faults.failures"]["value"] == 1.0
+        assert "faults.degraded_intervals" in metrics
+        assert "faults.rebuilds_completed" in metrics

@@ -1,0 +1,122 @@
+"""Fault scenarios obey the executor's byte-identity contract, and
+fault-differing sweeps never share cache entries.
+
+The first half mirrors tests/exec/test_determinism.py for a sweep with
+fault injection enabled: ``--jobs 1``, ``--jobs 4``, and a warm-cache
+pass must produce byte-identical serialized rows.  The second half is
+the cache-isolation regression: a sweep differing from another *only*
+in its fault configuration must hash to disjoint digests, so a cached
+fault-free result can never be served for a faulty run (or vice
+versa).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exec import (
+    ResultCache,
+    canonical_json,
+    execute,
+    experiment_spec,
+    spec_digest,
+)
+from repro.simulation.config import ScaledConfig
+
+PARALLEL_JOBS = int(os.environ.get("REPRO_EXEC_JOBS", "4"))
+
+
+def base_config():
+    return ScaledConfig(scale=50).with_(access_mean=0.2, num_stations=2)
+
+
+def fault_specs():
+    """A heterogeneous faulty sweep: scripted and stochastic failures
+    across all three techniques and both redundancy families."""
+    base = base_config().with_(fail_at=((3, 100),), mttr=40.0, rebuild_rate=2)
+    return [
+        experiment_spec(base.with_(technique="staggered", redundancy="mirror")),
+        experiment_spec(base.with_(technique="staggered", on_fault="abort")),
+        experiment_spec(base.with_(technique="simple", redundancy="parity")),
+        experiment_spec(base.with_(technique="vdr")),
+        experiment_spec(
+            base_config().with_(technique="staggered", mttf=300.0, mttr=30.0)
+        ),
+    ]
+
+
+def rows_bytes(records) -> str:
+    assert all(record.ok for record in records)
+    return canonical_json([record.payload for record in records])
+
+
+class TestFaultSweepByteIdentity:
+    def test_serial_parallel_and_cache_identical(self, tmp_path):
+        specs = fault_specs()
+        serial = rows_bytes(execute(specs, jobs=1))
+        parallel = rows_bytes(execute(specs, jobs=PARALLEL_JOBS))
+        assert parallel == serial
+
+        cache = ResultCache(tmp_path / "cache")
+        cold = rows_bytes(execute(specs, jobs=PARALLEL_JOBS, cache=cache))
+        warm_records = execute(specs, jobs=PARALLEL_JOBS, cache=cache)
+        assert cold == serial
+        assert rows_bytes(warm_records) == serial
+        assert all(record.cached for record in warm_records)
+
+    def test_fault_stats_survive_the_cache_round_trip(self, tmp_path):
+        spec = fault_specs()[0]
+        cache = ResultCache(tmp_path / "cache")
+        live = execute([spec], jobs=1, cache=cache)[0].result()
+        warm = execute([spec], jobs=1, cache=cache)[0].result()
+        assert live.policy_stats["fault_failures"] == 1.0
+        assert warm.policy_stats == live.policy_stats
+
+
+class TestFaultConfigCacheIsolation:
+    #: Single fault-field deltas, each a valid config on its own.
+    FAULT_DELTAS = [
+        {"mttf": 500.0},
+        {"mttf": 500.0, "mttr": 50.0},
+        {"fail_at": ((3, 100),)},
+        {"fail_at": ((3, 100),), "redundancy": "mirror"},
+        {"fail_at": ((3, 100),), "redundancy": "parity", "parity_group": 5},
+        {"fail_at": ((3, 100),), "rebuild_rate": 2},
+        {"fail_at": ((3, 100),), "on_fault": "abort"},
+    ]
+
+    def test_fault_deltas_hash_disjoint(self):
+        """Every fault variant gets its own digest — including against
+        the fault-free base."""
+        digests = [spec_digest(experiment_spec(base_config()))]
+        digests += [
+            spec_digest(experiment_spec(base_config().with_(**delta)))
+            for delta in self.FAULT_DELTAS
+        ]
+        assert len(set(digests)) == len(digests)
+
+    def test_sweeps_differing_only_in_faults_never_share_entries(self, tmp_path):
+        """The regression proper: run a fault-free sweep and its faulty
+        twin through one cache; neither may hit the other's entries."""
+        stations = (1, 2)
+        plain = [
+            experiment_spec(base_config().with_(num_stations=n))
+            for n in stations
+        ]
+        faulty = [
+            experiment_spec(
+                base_config().with_(num_stations=n, fail_at=((3, 100),),
+                                    mttr=40.0)
+            )
+            for n in stations
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        first = execute(plain, jobs=1, cache=cache)
+        second = execute(faulty, jobs=1, cache=cache)
+        # The faulty sweep found nothing reusable in the cache...
+        assert not any(record.cached for record in second)
+        # ...and each sweep's entries landed under distinct digests.
+        assert len(cache) == len(plain) + len(faulty)
+        assert not {r.digest for r in first} & {r.digest for r in second}
+        # Payloads genuinely differ: the faulty run saw the failure.
+        assert first[0].payload != second[0].payload

@@ -1,0 +1,70 @@
+"""Tests for the redundancy schemes (who serves a degraded read)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import mirror_partner, parity_group_members, survivors_of
+
+
+class TestMirror:
+    def test_partners_pair_up(self):
+        assert mirror_partner(0) == 1
+        assert mirror_partner(1) == 0
+        assert mirror_partner(6) == 7
+        assert mirror_partner(7) == 6
+
+    def test_survivor_is_the_partner(self):
+        assert survivors_of(4, "mirror", num_disks=8) == [5]
+
+    def test_dead_partner_unrecoverable(self):
+        down = {5}
+        assert survivors_of(4, "mirror", 8, is_failed=down.__contains__) is None
+
+    def test_partner_beyond_array_unrecoverable(self):
+        # Odd-width array: the last drive has no pair-mate.
+        assert survivors_of(6, "mirror", num_disks=7) is None
+
+
+class TestParity:
+    def test_groups_are_consecutive(self):
+        assert parity_group_members(0, 4, 20) == [0, 1, 2, 3]
+        assert parity_group_members(6, 4, 20) == [4, 5, 6, 7]
+
+    def test_trailing_group_may_be_short(self):
+        assert parity_group_members(9, 4, 10) == [8, 9]
+
+    def test_group_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            parity_group_members(0, 1, 10)
+
+    def test_survivors_are_the_other_members(self):
+        assert survivors_of(5, "parity", 20, parity_group=4) == [4, 6, 7]
+
+    def test_second_group_failure_unrecoverable(self):
+        down = {7}
+        assert (
+            survivors_of(5, "parity", 20, parity_group=4,
+                         is_failed=down.__contains__)
+            is None
+        )
+
+    def test_failure_outside_group_harmless(self):
+        down = {11}
+        assert survivors_of(
+            5, "parity", 20, parity_group=4, is_failed=down.__contains__
+        ) == [4, 6, 7]
+
+    def test_singleton_group_unrecoverable(self):
+        # 9 drives in groups of 4: drive 8 is alone in its group.
+        assert survivors_of(8, "parity", 9, parity_group=4) is None
+
+
+class TestScheme:
+    def test_none_never_recovers(self):
+        assert survivors_of(3, "none", 20) is None
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            survivors_of(3, "raid6", 20)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    FaultError,
+    SchedulingError,
+)
 from repro.hardware.disk import TABLE3_DISK
 from repro.hardware.disk_array import DiskArray, SLOTS_PER_DISK
 
@@ -88,6 +93,82 @@ class TestIntervalClaims:
         assert array.busy_disks() == [0, 4]
         assert 0 not in array.idle_disks()
         assert 1 in array.idle_disks()
+
+
+class TestFailures:
+    def test_failed_drive_rejects_claims(self, array):
+        array.begin_interval()
+        array.fail(2)
+        assert array.free_slots(2) == 0
+        assert array.is_failed(2)
+        assert array.failed_disks() == [2]
+        with pytest.raises(FaultError):
+            array.claim(2, owner="a", slots=1)
+
+    def test_fail_reports_the_rebuild_work(self, array):
+        array.store(2, 100.0)
+        assert array.fail(2) == pytest.approx(100.0)
+
+    def test_fail_drops_in_flight_claims(self, array):
+        array.begin_interval()
+        array.claim(2, owner="a")
+        array.claim(3, owner="b", slots=1)
+        array.fail(2)
+        assert array.is_idle(2)
+        # The surviving drive's claim is untouched.
+        assert array.free_slots(3) == 1
+
+    def test_double_fail_and_stray_repair_rejected(self, array):
+        array.fail(2)
+        with pytest.raises(FaultError):
+            array.fail(2)
+        with pytest.raises(FaultError):
+            array.repair(0)
+
+    def test_repair_restores_claimability(self, array):
+        array.begin_interval()
+        array.fail(2)
+        array.repair(2)
+        assert not array.is_failed(2)
+        assert array.free_slots(2) == SLOTS_PER_DISK
+        array.claim(2, owner="a")
+
+
+class TestReconstructionClaims:
+    def test_charges_every_survivor(self, array):
+        array.begin_interval()
+        array.fail(2)
+        array.reconstruction_claim(2, owner="r", survivors=[0, 1, 3], halves=1)
+        for survivor in (0, 1, 3):
+            assert array.free_slots(survivor) == SLOTS_PER_DISK - 1
+
+    def test_rejected_for_a_healthy_drive(self, array):
+        array.begin_interval()
+        with pytest.raises(FaultError):
+            array.reconstruction_claim(2, owner="r", survivors=[3])
+
+    def test_rejected_without_survivors(self, array):
+        array.begin_interval()
+        array.fail(2)
+        with pytest.raises(FaultError):
+            array.reconstruction_claim(2, owner="r", survivors=[])
+
+    def test_atomic_when_a_survivor_is_saturated(self, array):
+        array.begin_interval()
+        array.fail(2)
+        array.claim(3, owner="display")  # both half-slots taken
+        with pytest.raises(SchedulingError):
+            array.reconstruction_claim(2, owner="r", survivors=[0, 1, 3])
+        # Nothing was charged to the drives checked before the full one.
+        assert array.free_slots(0) == SLOTS_PER_DISK
+        assert array.free_slots(1) == SLOTS_PER_DISK
+
+    def test_rejected_when_a_survivor_is_failed(self, array):
+        array.begin_interval()
+        array.fail(2)
+        array.fail(3)
+        with pytest.raises(SchedulingError):
+            array.reconstruction_claim(2, owner="r", survivors=[3])
 
 
 class TestUtilization:

@@ -11,6 +11,7 @@ from repro.sim.rng import (
     RandomStream,
     effective_working_set,
     geometric_success_probability,
+    substream_salt,
     truncated_geometric_pmf,
 )
 
@@ -28,6 +29,47 @@ def test_fork_is_deterministic_and_distinct():
     fork2 = base.fork(2)
     assert fork1.uniform() == fork1_again.uniform()
     assert fork1.seed != fork2.seed
+
+
+def test_substream_salt_is_stable_and_name_sensitive():
+    assert substream_salt("faults") == substream_salt("faults")
+    assert substream_salt("faults") != substream_salt("workload")
+    assert 0 <= substream_salt("faults") < 2**63
+
+
+def test_substream_same_name_same_draws():
+    a = RandomStream(seed=7).substream("faults")
+    b = RandomStream(seed=7).substream("faults")
+    assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+
+def test_substream_distinct_names_distinct_draws():
+    base = RandomStream(seed=7)
+    assert base.substream("faults").uniform() != base.substream("x").uniform()
+
+
+def test_substream_independent_of_parent_and_sibling_use():
+    """Drawing from the parent or one substream never perturbs
+    another substream: each is a pure function of (seed, name)."""
+    fresh = RandomStream(seed=7).substream("faults")
+    expected = [fresh.uniform() for _ in range(5)]
+
+    parent = RandomStream(seed=7)
+    parent.uniform()  # parent consumption
+    sibling = parent.substream("other")
+    for _ in range(100):  # sibling consumption
+        sibling.uniform()
+    late = parent.substream("faults")
+    assert [late.uniform() for _ in range(5)] == expected
+
+
+def test_substream_disjoint_from_small_forks():
+    """Named substreams cannot collide with the indexed forks the
+    workload and executor already hand out."""
+    base = RandomStream(seed=7)
+    fork_seeds = {base.fork(i).seed for i in range(1000)}
+    for name in ("faults", "disk-0", "disk-1", "disk-99"):
+        assert base.substream(name).seed not in fork_seeds
 
 
 def test_exponential_mean(stream):

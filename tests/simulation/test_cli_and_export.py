@@ -98,3 +98,84 @@ class TestCLI:
             "--stations", "1", "--uniform",
         ])
         assert code == 0
+
+
+class TestFaultCLI:
+    def test_run_with_fault_flags_reports_availability(self, capsys):
+        code = main([
+            "run", "--scale", "50", "--technique", "staggered",
+            "--stations", "2", "--mean", "0.2",
+            "--fail-at", "3:100", "--mttr", "40",
+            "--redundancy", "mirror", "--rebuild-rate", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults(" in out  # config.describe() banner
+        assert "fault_failures" in out
+        assert "fault_rebuilds_completed" in out
+
+    def test_fault_flags_reach_the_config(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "--fail-at", "3:100", "7:250", "--mttf", "500",
+            "--mttr", "50", "--redundancy", "parity",
+            "--parity-group", "5", "--on-fault", "abort",
+        ])
+        from repro.cli import _config
+
+        config = _config(args)
+        assert config.fail_at == ((3, 100), (7, 250))
+        assert config.mttf == 500.0
+        assert config.redundancy == "parity"
+        assert config.parity_group == 5
+        assert config.on_fault == "abort"
+        assert config.faults_enabled
+
+    def test_fault_flags_default_to_disabled(self):
+        parser = build_parser()
+        from repro.cli import _config
+
+        config = _config(parser.parse_args(["run"]))
+        assert not config.faults_enabled
+
+    def test_malformed_fail_at_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--fail-at", "3-100"])
+
+    def test_faults_grid_command(self, capsys, tmp_path):
+        code = main([
+            "faults", "--scale", "50", "--values", "300",
+            "--output", str(tmp_path / "faults.csv"),
+        ])
+        assert code == 0
+        rows = read_rows(tmp_path / "faults.csv")
+        assert len(rows) == 9  # 3 techniques x 3 redundancy schemes
+        assert {row["technique"] for row in rows} == {
+            "simple", "staggered", "vdr"
+        }
+        assert {row["redundancy"] for row in rows} == {
+            "none", "mirror", "parity"
+        }
+
+
+class TestSweepStatus:
+    def test_reports_entries_and_size_on_disk(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = main([
+            "run", "--scale", "50", "--technique", "simple",
+            "--stations", "1", "--mean", "0.2",
+            "--cache-dir", str(cache_dir),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["sweep-status", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "(1 entries," in out
+        assert "on disk)" in out
+        assert "B on disk" in out or "KiB on disk" in out
+
+    def test_empty_cache_reports_zero_bytes(self, capsys, tmp_path):
+        assert main(["sweep-status", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries, 0 B on disk" in out
