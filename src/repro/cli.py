@@ -8,32 +8,41 @@ Commands
 ``figure8``       the Figure 8 grid (both techniques, all skews)
 ``table4``        the Table 4 improvement matrix
 ``faults``        availability grid: MTTF sweep × technique × redundancy
-``sweep-status``  summarise the on-disk result cache
+``sweep-status``  summarise the on-disk result cache (``--journal``:
+                  list sweep journals with completed/pending/poisoned)
+``sweep-resume``  resume an interrupted sweep from its journal
 ``obs-report``    summarise a ``--metrics`` file (or convert a trace)
 
 All simulation commands accept ``--scale`` (1 = the paper's full
 parameters) and ``--output FILE.csv|FILE.json`` to export the rows,
 the execution flags ``--jobs N`` (worker processes), ``--cache-dir
 DIR`` and ``--no-cache`` (content-addressed result cache, see
-docs/parallel_execution.md), plus the telemetry flags ``--obs-level
-{off,metrics,trace}``, ``--metrics FILE.json`` and ``--trace
-FILE.jsonl`` (see docs/observability.md).
+docs/parallel_execution.md), ``--run-timeout SECONDS`` (supervised
+execution, see docs/resilient_execution.md), ``--sanitize
+{off,check,strict}`` (runtime invariant checks), plus the telemetry
+flags ``--obs-level {off,metrics,trace}``, ``--metrics FILE.json``
+and ``--trace FILE.jsonl`` (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.exec import (
     ResultCache,
+    Supervision,
     cache_status_rows,
     execute,
     experiment_spec,
+    find_journal,
     format_bytes,
+    journal_root,
+    journal_status_rows,
     records_to_results,
     resolve_cache_dir,
 )
@@ -53,6 +62,7 @@ from repro.experiments.table4 import run_table4, scaled_table4_stations
 from repro.obs import Observability, convert_jsonl_to_chrome
 from repro.obs.report import format_report, load_metrics
 from repro.simulation.config import SimulationConfig
+from repro.sim import sanitize
 from repro.simulation.export import write_csv, write_json
 from repro.simulation.runner import run_sweep, sweep_table
 
@@ -80,6 +90,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache for this invocation")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound per run; a worker over it is "
+                             "killed and the run retried (default: "
+                             "$REPRO_RUN_TIMEOUT or unbounded)")
+    parser.add_argument("--sanitize", default=None,
+                        choices=["off", "check", "strict"],
+                        help="runtime invariant checks: tally (check) or "
+                             "fail fast (strict) on conservation violations "
+                             "(default: off, zero overhead)")
     parser.add_argument("--obs-level", default="off",
                         choices=["off", "metrics", "trace"],
                         help="telemetry level (default: off, zero overhead)")
@@ -91,11 +111,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "--obs-level trace)")
 
 
+def _apply_sanitize(args) -> None:
+    """Install ``--sanitize`` for this invocation (and its workers).
+
+    The mode travels via the ``REPRO_SANITIZE`` environment variable —
+    worker processes inherit it, grid commands that build many configs
+    pick it up without per-config plumbing, and because the mode is
+    excluded from cache keys it cannot fork the result cache.
+    """
+    if getattr(args, "sanitize", None) is not None:
+        os.environ[sanitize.SANITIZE_ENV] = args.sanitize
+
+
 def _cache(args) -> Optional[ResultCache]:
     """The result cache for this invocation, or ``None`` with --no-cache."""
     if getattr(args, "no_cache", False):
         return None
     return ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
+
+
+def _supervision(args) -> Supervision:
+    """Supervision options for this invocation.
+
+    Records the original command line so ``repro sweep-resume`` can
+    replay it from the journal after a crash or interrupt.
+    """
+    return Supervision(
+        run_timeout=getattr(args, "run_timeout", None),
+        argv=getattr(args, "_argv", None),
+    )
 
 
 def _observability(args) -> Optional[Observability]:
@@ -237,7 +281,8 @@ def cmd_run(args) -> int:
     print(f"running: {config.describe()}")
     obs = _observability(args)
     records = execute(
-        [experiment_spec(config)], jobs=1, cache=_cache(args), obs=obs
+        [experiment_spec(config)], jobs=1, cache=_cache(args), obs=obs,
+        supervision=_supervision(args),
     )
     if records[0].cached:
         print("(cache hit — no simulation work)")
@@ -253,7 +298,7 @@ def cmd_sweep(args) -> int:
     obs = _observability(args)
     results = run_sweep(
         config, "num_stations", stations, obs=obs,
-        jobs=args.jobs, cache=_cache(args),
+        jobs=args.jobs, cache=_cache(args), supervision=_supervision(args),
     )
     _emit(sweep_table(results), args.output)
     _finish_obs(obs)
@@ -266,6 +311,7 @@ def cmd_figure8(args) -> int:
     curves = run_figure8(
         scale=args.scale, stations=stations, means=scaled_means(args.scale),
         obs=obs, jobs=args.jobs, cache=_cache(args),
+        supervision=_supervision(args),
     )
     _emit(figure8_rows(curves), args.output)
     _finish_obs(obs)
@@ -279,6 +325,7 @@ def cmd_table4(args) -> int:
         stations=args.values or scaled_table4_stations(args.scale),
         means=scaled_means(args.scale),
         obs=obs, jobs=args.jobs, cache=_cache(args),
+        supervision=_supervision(args),
     )
     _emit(rows, args.output)
     _finish_obs(obs)
@@ -292,6 +339,7 @@ def cmd_faults(args) -> int:
         mttf_values=args.values or None,
         mttr=args.mttr,
         obs=obs, jobs=args.jobs, cache=_cache(args),
+        supervision=_supervision(args),
     )
     _emit(faults_rows(points), args.output)
     _finish_obs(obs)
@@ -300,6 +348,16 @@ def cmd_faults(args) -> int:
 
 def cmd_sweep_status(args) -> int:
     cache = ResultCache(resolve_cache_dir(args.cache_dir))
+    if args.journal:
+        rows = journal_status_rows(journal_root(cache.root))
+        if not rows:
+            print(f"no sweep journals under {journal_root(cache.root)}")
+            return 0
+        print(format_table(rows))
+        interrupted = [row for row in rows if row["status"] == "interrupted"]
+        for row in interrupted:
+            print(f"resume with: repro sweep-resume {row['sweep_id']}")
+        return 0
     entries = len(cache)
     print(
         f"cache: {cache.root} ({entries} entries, "
@@ -311,6 +369,29 @@ def cmd_sweep_status(args) -> int:
         removed = cache.clear()
         print(f"cleared {removed} entries")
     return 0
+
+
+def cmd_sweep_resume(args) -> int:
+    """Replay an interrupted sweep's recorded command line.
+
+    Settled rows come back instantly from the journal/cache; only the
+    pending remainder simulates.
+    """
+    root = journal_root(resolve_cache_dir(args.cache_dir))
+    state = find_journal(root, args.sweep_id)
+    if not state.argv:
+        print(
+            f"sweep-resume: journal {state.sweep_id} predates command "
+            "recording; re-run the original command instead",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"resuming sweep {state.sweep_id}: {state.completed}/{state.total} "
+        f"rows done, {state.pending} pending, {state.poisoned} poisoned"
+    )
+    print(f"replaying: repro {' '.join(state.argv)}")
+    return main(state.argv)
 
 
 def cmd_obs_report(args) -> int:
@@ -389,7 +470,22 @@ def build_parser() -> argparse.ArgumentParser:
                                "or .repro-cache)")
     p_status.add_argument("--clear", action="store_true",
                           help="delete every cached entry after reporting")
+    p_status.add_argument("--journal", action="store_true",
+                          help="list sweep journals instead: completed / "
+                               "pending / poisoned counts per sweep")
     p_status.set_defaults(func=cmd_sweep_status)
+
+    p_resume = sub.add_parser(
+        "sweep-resume",
+        help="resume an interrupted sweep from its journal",
+    )
+    p_resume.add_argument("sweep_id",
+                          help="sweep id (or unique prefix) from "
+                               "`repro sweep-status --journal`")
+    p_resume.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache directory whose journals to search "
+                               "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_resume.set_defaults(func=cmd_sweep_resume)
 
     p_obs = sub.add_parser(
         "obs-report",
@@ -410,9 +506,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    # Recorded in the sweep journal so `repro sweep-resume` can replay
+    # this exact invocation.
+    args._argv = argv
+    _apply_sanitize(args)
     try:
         return args.func(args)
+    except SweepInterrupted as interrupt:
+        # Graceful shutdown: completed rows are flushed; tell the user
+        # exactly how to pick the sweep back up.  130 = 128 + SIGINT,
+        # the conventional "terminated by Ctrl-C" exit code.
+        print(f"\nrepro {args.command}: {interrupt}", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as error:
         # Library failures and file-system errors (unwritable --trace /
         # --metrics / --output paths, unreadable inputs) are user

@@ -327,6 +327,62 @@ class StaggeredStripingPolicy(StoragePolicy):
         return report
 
     # ------------------------------------------------------------------
+    # Runtime invariant checks (repro.sim.sanitize)
+    # ------------------------------------------------------------------
+    def verify_invariants(self, sanitizer, interval: int) -> None:
+        """The policy-level invariant suite, run once per interval.
+
+        Delegates half-slot accounting to the disk array and slot
+        pool, then checks the two properties only the scheduler can
+        see: buffer conservation (the staging-memory gauge equals the
+        recomputed demand of the active displays) and event-time
+        monotonicity (no due lane release or completion is still
+        sitting in a heap after the interval was processed).
+        """
+        self.disk_manager.array.verify_invariants(sanitizer, interval)
+        self.disk_manager.pool.verify_invariants(sanitizer, interval)
+        expected = sum(
+            display.buffer_demand() for display in self._active.values()
+        )
+        sanitizer.expect(
+            abs(self._staging_memory - expected) <= 1e-6 * max(1.0, expected),
+            "buffer_conservation",
+            f"staging memory gauge {self._staging_memory:.6f} != "
+            f"recomputed active-display demand {expected:.6f} mbit in "
+            f"interval {interval}",
+        )
+        sanitizer.expect(
+            self._staging_memory >= -1e-9,
+            "buffer_conservation",
+            f"staging memory went negative in interval {interval}: "
+            f"{self._staging_memory}",
+        )
+        for due, display_id, _slot in self._lane_releases:
+            if due > interval:
+                continue
+            # Fragmented admission activates a display only once its
+            # *last* lane is claimed; earlier lanes finished their
+            # (buffered) reads beforehand, so activation — which runs
+            # after this interval's release pass — may push entries
+            # already due.  They drain at the next pass; only entries
+            # from older activations are genuinely stale.
+            display = self._active.get(display_id)
+            sanitizer.expect(
+                display_id in self._cancelled
+                or (display is not None and display.deliver_start == interval),
+                "event_time",
+                f"lane release due at {due} still queued after "
+                f"interval {interval}",
+            )
+        if self._completions:
+            sanitizer.expect(
+                self._completions[0][0] > interval,
+                "event_time",
+                f"completion due at {self._completions[0][0]} still "
+                f"queued after interval {interval}",
+            )
+
+    # ------------------------------------------------------------------
     # Rewind / fast-forward support (§3.2.5)
     # ------------------------------------------------------------------
     def reposition(

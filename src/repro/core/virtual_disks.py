@@ -194,6 +194,38 @@ class SlotPool:
         return len(slots)
 
     # ------------------------------------------------------------------
+    # Runtime invariant checks (repro.sim.sanitize)
+    # ------------------------------------------------------------------
+    def verify_invariants(self, sanitizer, interval: int) -> None:
+        """Half-slot accounting over the rotating frame.
+
+        Every occupied virtual disk holds between 1 and
+        ``HALVES_PER_SLOT`` claimed halves, each owner a positive
+        count, and no empty owner map lingers (an empty map would make
+        ``busy_count`` overcount and admission under-admit forever).
+        """
+        for slot, holders in self._owners.items():
+            sanitizer.expect(
+                bool(holders),
+                "half_slots",
+                f"virtual disk {slot} has an empty owner map in "
+                f"interval {interval}",
+            )
+            used = sum(holders.values())
+            sanitizer.expect(
+                0 < used <= HALVES_PER_SLOT,
+                "half_slots",
+                f"virtual disk {slot} oversubscribed in interval "
+                f"{interval}: {holders!r}",
+            )
+            sanitizer.expect(
+                all(halves > 0 for halves in holders.values()),
+                "half_slots",
+                f"virtual disk {slot} holds a non-positive claim in "
+                f"interval {interval}: {holders!r}",
+            )
+
+    # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------
     def physical_of(self, slot: int, interval: int) -> int:

@@ -59,5 +59,51 @@ class FaultError(ReproError):
     """
 
 
+class SanitizeError(ReproError):
+    """A runtime invariant check failed under ``--sanitize strict``.
+
+    Raised by :mod:`repro.sim.sanitize` the moment a conservation
+    invariant (half-slot accounting, buffer conservation, event-time
+    monotonicity, RNG substream reuse) is observed to be violated.  In
+    ``check`` mode the same violations are tallied as ``sanitize.*``
+    counters instead.
+    """
+
+
+class SweepInterrupted(ReproError):
+    """A supervised sweep stopped before finishing (SIGINT/SIGTERM).
+
+    Completed rows are already flushed to the sweep journal and result
+    cache; :attr:`resume_command` re-runs only the remainder.
+    """
+
+    def __init__(
+        self,
+        sweep_id: str,
+        journal_path,
+        completed: int,
+        pending: int,
+        signal_name: str = "SIGINT",
+    ) -> None:
+        self.sweep_id = sweep_id
+        self.journal_path = journal_path
+        self.completed = completed
+        self.pending = pending
+        self.signal_name = signal_name
+        self.resume_command = (
+            f"repro sweep-resume {sweep_id}" if sweep_id else ""
+        )
+        detail = (
+            f"(journal: {journal_path}); resume with `{self.resume_command}`"
+            if sweep_id
+            else "(no journal — re-run the same command to continue "
+            "from the result cache)"
+        )
+        super().__init__(
+            f"sweep interrupted by {signal_name}: {completed} rows done, "
+            f"{pending} pending {detail}"
+        )
+
+
 class LayoutError(ReproError):
     """A data-placement (striping layout) request was invalid."""

@@ -30,14 +30,29 @@ from repro.exec.executor import (
     require_ok,
 )
 from repro.exec.hashing import canonical, canonical_json, code_salt
+from repro.exec.journal import (
+    JournalState,
+    SweepJournal,
+    find_journal,
+    journal_root,
+    journal_status_rows,
+    list_journals,
+    load_journal,
+    sweep_id_for,
+)
 from repro.exec.spec import RunSpec, derive_seed, experiment_spec, spec_digest
+from repro.exec.supervisor import Supervision, SupervisedPool
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "JournalState",
     "ResultCache",
     "RunRecord",
     "RunSpec",
+    "SupervisedPool",
+    "Supervision",
     "SweepFailure",
+    "SweepJournal",
     "cache_status_rows",
     "format_bytes",
     "canonical",
@@ -46,8 +61,14 @@ __all__ = [
     "derive_seed",
     "execute",
     "experiment_spec",
+    "find_journal",
+    "journal_root",
+    "journal_status_rows",
+    "list_journals",
+    "load_journal",
     "records_to_results",
     "require_ok",
     "resolve_cache_dir",
     "spec_digest",
+    "sweep_id_for",
 ]

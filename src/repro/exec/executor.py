@@ -1,10 +1,24 @@
-"""The sweep executor: cache probe, worker pool, structured records.
+"""The sweep executor: cache probe, supervised workers, journaling.
 
 :func:`execute` takes a list of :class:`~repro.exec.spec.RunSpec`,
-probes the result cache, deduplicates identical specs, runs the
-misses — in-process for ``jobs == 1``, across a ``multiprocessing``
-pool otherwise — and returns one :class:`RunRecord` per spec **in
-spec order**, regardless of worker scheduling.
+probes the result cache *and* the sweep journal, deduplicates
+identical specs, runs the misses — in-process for ``jobs == 1``,
+across a :class:`~repro.exec.supervisor.SupervisedPool` otherwise —
+and returns one :class:`RunRecord` per spec **in spec order**,
+regardless of worker scheduling.
+
+Robustness (see docs/resilient_execution.md):
+
+* every settled row is flushed to the cache **and** the append-only
+  sweep journal the moment it exists, so a crash costs at most the
+  rows in flight;
+* workers are supervised — death, hang, and timeout are detected and
+  the task re-dispatched with bounded backoff retries; deterministic
+  :class:`~repro.errors.ReproError` failures are poisoned instead of
+  retried;
+* the first SIGINT/SIGTERM drains in-flight runs, flushes, and raises
+  :class:`~repro.errors.SweepInterrupted` carrying the journal path
+  and the exact ``repro sweep-resume`` command.
 
 Failure is data, not control flow: a run that raises yields a record
 with ``status == "error"`` and the worker's traceback instead of
@@ -15,10 +29,11 @@ Telemetry: with an :class:`~repro.obs.Observability` session, the
 executor opens one run-observation of its own whose
 :class:`~repro.obs.PhaseProfiler` splits plan / execute / collect and
 whose registry tallies per-run wall-clock and counts runs, cache
-hits, and failures.  At ``jobs == 1`` the session is additionally
-threaded into each run (per-run engine metrics, exactly as before
-this layer existed); worker processes always run unobserved — the
-telemetry contract (PR 1) guarantees that cannot change their rows.
+hits, retries, and failures.  At ``jobs == 1`` the session is
+additionally threaded into each run (per-run engine metrics, exactly
+as before this layer existed); worker processes always run unobserved
+— the telemetry contract (PR 1) guarantees that cannot change their
+rows.
 """
 
 from __future__ import annotations
@@ -30,10 +45,27 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, SweepInterrupted
 from repro.exec.cache import ResultCache
+from repro.exec.journal import (
+    JournalState,
+    SweepJournal,
+    journal_root,
+    load_journal,
+    sweep_id_for,
+)
 from repro.exec.spec import RunSpec, run_spec, spec_digest
+from repro.exec.supervisor import (
+    GracefulSignals,
+    SupervisedPool,
+    Supervision,
+    attempt_serial,
+)
 from repro.simulation.results import SimulationResult
+
+#: Failure summaries embedded in a SweepFailure message (the full
+#: records remain on ``.failures``).
+MAX_LISTED_FAILURES = 3
 
 
 class SweepFailure(ReproError):
@@ -41,12 +73,25 @@ class SweepFailure(ReproError):
 
     def __init__(self, failures: List["RunRecord"]) -> None:
         self.failures = failures
-        first = failures[0]
-        detail = (first.error or "").strip().splitlines()
-        super().__init__(
-            f"{len(failures)} of the sweep's runs failed; first: "
-            f"{first.label or first.kind}: {detail[-1] if detail else 'unknown'}"
+        lines = []
+        for record in failures[:MAX_LISTED_FAILURES]:
+            detail = (record.error or "").strip().splitlines()
+            tail = detail[-1] if detail else "unknown"
+            name = record.label or record.kind
+            lines.append(f"{name}: {tail}")
+        message = (
+            f"{len(failures)} of the sweep's runs failed: " + "; ".join(lines)
         )
+        extra = len(failures) - MAX_LISTED_FAILURES
+        if extra > 0:
+            message += f"; ... and {extra} more"
+        first = failures[0]
+        if first.journal_path:
+            message += (
+                f" (journal: {first.journal_path}; retry failed rows with "
+                f"`repro sweep-resume {first.sweep_id}`)"
+            )
+        super().__init__(message)
 
 
 @dataclass
@@ -62,6 +107,15 @@ class RunRecord:
     error: Optional[str] = None
     duration_s: float = 0.0
     cached: bool = False
+    #: Attempts the run took (retries leave a trace).
+    attempts: int = 1
+    #: True when the failure was deterministic (quarantined, no retry).
+    poisoned: bool = False
+    #: True when the row was recovered from a sweep journal.
+    resumed: bool = False
+    #: Sweep provenance (set when the sweep was journaled).
+    sweep_id: str = ""
+    journal_path: str = ""
 
     @property
     def ok(self) -> bool:
@@ -85,19 +139,6 @@ def _execute_payload(spec: RunSpec, obs=None) -> Tuple[str, Dict, Optional[str],
         return "error", {}, traceback.format_exc(), time.perf_counter() - start
 
 
-def _worker_task(task: Tuple[int, RunSpec]) -> Dict[str, Any]:
-    """Pool entry point; must stay module-level (picklable)."""
-    index, spec = task
-    status, payload, error, duration = _execute_payload(spec)
-    return {
-        "index": index,
-        "status": status,
-        "payload": payload,
-        "error": error,
-        "duration_s": duration,
-    }
-
-
 def _pool_context():
     """Fork where available (cheap, inherits imports), else spawn."""
     methods = multiprocessing.get_all_start_methods()
@@ -106,18 +147,55 @@ def _pool_context():
     )
 
 
+def _open_journal(
+    supervision: Supervision,
+    cache: Optional[ResultCache],
+    digests: Sequence[str],
+) -> Tuple[Optional[SweepJournal], Optional[JournalState]]:
+    """The sweep's journal (and any prior state), or ``(None, None)``.
+
+    Journaling defaults to on exactly when a cache is present: the
+    journal lives beside it, and ``--no-cache`` runs are explicitly
+    ephemeral.  ``supervision.journal``/``journal_dir`` override both
+    halves of that default.
+    """
+    enabled = supervision.journal
+    if enabled is None:
+        enabled = cache is not None or supervision.journal_dir is not None
+    if not enabled:
+        return None, None
+    if supervision.journal_dir is not None:
+        root = supervision.journal_dir
+    elif cache is not None:
+        root = journal_root(cache.root)
+    else:
+        return None, None
+    journal = SweepJournal(root, sweep_id_for(digests))
+    prior = load_journal(journal.path)
+    journal.begin(supervision.argv, list(digests))
+    return journal, prior
+
+
 def execute(
     specs: Sequence[RunSpec],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     obs=None,
+    supervision: Optional[Supervision] = None,
 ) -> List[RunRecord]:
-    """Run every spec; one record per spec, in spec order."""
+    """Run every spec; one record per spec, in spec order.
+
+    Raises :class:`~repro.errors.SweepInterrupted` when a first
+    SIGINT/SIGTERM arrives mid-sweep: in-flight runs drain, settled
+    rows are already flushed, and the exception names the journal and
+    the resume command.
+    """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     specs = list(specs)
     if not specs:
         return []
+    supervision = supervision if supervision is not None else Supervision()
 
     # A single spec is not a sweep: skip the executor's own run
     # observation so `repro run --metrics` documents stay one-run.
@@ -133,6 +211,14 @@ def execute(
     records: Dict[int, RunRecord] = {}
     with phase("plan"):
         digests = [spec_digest(spec) for spec in specs]
+        journal, prior = (
+            _open_journal(supervision, cache, digests)
+            if len(specs) > 1
+            else (None, None)
+        )
+        sweep_id = journal.sweep_id if journal is not None else ""
+        journal_file = str(journal.path) if journal is not None else ""
+        settled_prior = prior.settled_runs() if prior is not None else {}
         pending: Dict[str, List[int]] = {}
         for index, (spec, digest) in enumerate(zip(specs, digests)):
             stored = cache.get(digest) if cache is not None else None
@@ -146,49 +232,91 @@ def execute(
                     payload=stored.get("payload", {}),
                     duration_s=float(stored.get("duration_s", 0.0)),
                     cached=True,
+                    sweep_id=sweep_id,
+                    journal_path=journal_file,
+                )
+            elif digest in settled_prior:
+                row = settled_prior[digest]
+                records[index] = RunRecord(
+                    index=index,
+                    kind=spec.kind,
+                    label=spec.describe(),
+                    digest=digest,
+                    status=str(row.get("status", "error")),
+                    payload=row.get("payload", {}),
+                    error=row.get("error"),
+                    duration_s=float(row.get("duration_s", 0.0)),
+                    attempts=int(row.get("attempts", 1)),
+                    poisoned=bool(row.get("poisoned", False)),
+                    resumed=True,
+                    sweep_id=sweep_id,
+                    journal_path=journal_file,
                 )
             else:
                 # Identical specs (same digest) simulate once.
                 pending.setdefault(digest, []).append(index)
 
+    index_digest = {indices[0]: digest for digest, indices in pending.items()}
     tasks = [(indices[0], specs[indices[0]]) for indices in pending.values()]
     outcomes: Dict[int, Dict[str, Any]] = {}
-    with phase("execute"):
+
+    def flush(index: int, outcome: Dict[str, Any]) -> None:
+        """Persist one settled outcome to cache + journal immediately."""
+        outcomes[index] = outcome
+        digest = index_digest[index]
+        lead = specs[index]
+        if cache is not None and outcome["status"] == "ok":
+            cache.put(
+                digest,
+                {
+                    "kind": lead.kind,
+                    "label": lead.describe(),
+                    "status": "ok",
+                    "payload": outcome["payload"],
+                    "duration_s": outcome["duration_s"],
+                },
+            )
+        if journal is not None:
+            journal.record_run(
+                digest,
+                kind=lead.kind,
+                label=lead.describe(),
+                status=outcome["status"],
+                payload=outcome["payload"],
+                error=outcome.get("error"),
+                duration_s=outcome["duration_s"],
+                attempts=outcome.get("attempt", 1),
+                poisoned=outcome.get("poison", False),
+            )
+
+    retries = 0
+    with phase("execute"), GracefulSignals(
+        enabled=supervision.handle_signals and bool(tasks)
+    ) as signals:
         if jobs == 1 or len(tasks) <= 1:
             for index, spec in tasks:
-                status, payload, error, duration = _execute_payload(spec, obs=obs)
-                outcomes[index] = {
-                    "index": index,
-                    "status": status,
-                    "payload": payload,
-                    "error": error,
-                    "duration_s": duration,
-                }
-        else:
-            context = _pool_context()
-            workers = min(jobs, len(tasks))
-            with context.Pool(processes=workers) as pool:
-                for outcome in pool.imap_unordered(_worker_task, tasks):
-                    outcomes[outcome["index"]] = outcome
+                if signals.triggered is not None:
+                    break
+                outcome = attempt_serial(spec, supervision, obs=obs)
+                retries += outcome["attempt"] - 1
+                flush(index, outcome)
+        elif tasks:
+            pool = SupervisedPool(tasks, jobs, supervision, _pool_context())
+            for outcome in pool.run():
+                flush(outcome["index"], outcome)
+                if signals.triggered is not None:
+                    pool.request_stop()
+            if signals.triggered is not None:
+                pool.request_stop()
+            retries = pool.retries
+
+    interrupted = signals.triggered if tasks else None
 
     with phase("collect"):
         for digest, indices in pending.items():
-            outcome = outcomes[indices[0]]
-            if (
-                cache is not None
-                and outcome["status"] == "ok"
-            ):
-                lead = specs[indices[0]]
-                cache.put(
-                    digest,
-                    {
-                        "kind": lead.kind,
-                        "label": lead.describe(),
-                        "status": "ok",
-                        "payload": outcome["payload"],
-                        "duration_s": outcome["duration_s"],
-                    },
-                )
+            outcome = outcomes.get(indices[0])
+            if outcome is None:
+                continue  # interrupted before this task settled
             for index in indices:
                 spec = specs[index]
                 records[index] = RunRecord(
@@ -201,27 +329,53 @@ def execute(
                     error=outcome["error"],
                     duration_s=outcome["duration_s"],
                     cached=index != indices[0],
+                    attempts=outcome.get("attempt", 1),
+                    poisoned=outcome.get("poison", False),
+                    sweep_id=sweep_id,
+                    journal_path=journal_file,
                 )
 
-        ordered = [records[index] for index in range(len(specs))]
         if exec_obs is not None:
             registry = exec_obs.registry
-            registry.counter("exec.runs").inc(len(ordered))
+            registry.counter("exec.runs").inc(len(specs))
             registry.counter("exec.cache_hits").inc(
-                sum(1 for record in ordered if record.cached)
+                sum(1 for record in records.values() if record.cached)
             )
-            registry.counter("exec.executed").inc(len(tasks))
+            registry.counter("exec.resumed").inc(
+                sum(1 for record in records.values() if record.resumed)
+            )
+            registry.counter("exec.executed").inc(len(outcomes))
+            registry.counter("exec.retries").inc(retries)
             registry.counter("exec.failures").inc(
-                sum(1 for record in ordered if not record.ok)
+                sum(1 for record in records.values() if not record.ok)
+            )
+            registry.counter("exec.poisoned").inc(
+                sum(1 for record in records.values() if record.poisoned)
             )
             registry.gauge("exec.jobs").set(jobs)
             run_seconds = registry.tally("exec.run_seconds")
             for outcome in outcomes.values():
                 run_seconds.record(outcome["duration_s"])
 
+    if interrupted is not None:
+        if journal is not None:
+            journal.end("interrupted")
+        if exec_obs is not None:
+            obs.finish_run(exec_obs)
+        done = len(records)
+        raise SweepInterrupted(
+            sweep_id=sweep_id,
+            journal_path=journal_file,
+            completed=done,
+            pending=len(specs) - done,
+            signal_name=interrupted,
+        )
+
+    if journal is not None and outcomes:
+        journal.end("complete")
     if exec_obs is not None:
         obs.finish_run(exec_obs)
-    return ordered
+    return [records[index] for index in range(len(specs))]
 
 
 def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:

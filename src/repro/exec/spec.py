@@ -54,13 +54,25 @@ class RunSpec:
         return self.kind
 
 
+#: Config fields excluded from the cache key.  ``sanitize`` only adds
+#: runtime checks — it cannot change a run's payload — so runs under
+#: any sanitize mode share cache entries (and a strict CI pass warms
+#: the cache for normal runs).
+DIGEST_EXCLUDED_CONFIG_FIELDS = ("sanitize",)
+
+
 def spec_digest(spec: RunSpec) -> str:
     """Content hash of a spec: config + params + kind + code salt."""
+    config_doc = None
+    if spec.config is not None:
+        config_doc = canonical(spec.config)
+        for excluded in DIGEST_EXCLUDED_CONFIG_FIELDS:
+            config_doc.pop(excluded, None)
     return digest_document(
         {
             "version": HASH_SCHEME_VERSION,
             "kind": spec.kind,
-            "config": canonical(spec.config) if spec.config is not None else None,
+            "config": config_doc,
             "params": canonical(dict(spec.params)),
             "salt": code_salt(),
         }

@@ -99,6 +99,7 @@ def run_faults_grid(
     obs=None,
     jobs: int = 1,
     cache=None,
+    supervision=None,
 ) -> List[FaultsPoint]:
     """The full availability grid, in cell order."""
     config = base_config(scale)
@@ -114,7 +115,7 @@ def run_faults_grid(
         for technique, redundancy, mttf in cells
     ]
     results = records_to_results(
-        execute(specs, jobs=jobs, cache=cache, obs=obs)
+        execute(specs, jobs=jobs, cache=cache, obs=obs, supervision=supervision)
     )
     return [
         point_from_result(result, technique, redundancy, mttf)

@@ -100,12 +100,14 @@ def run_figure8(
     obs=None,
     jobs: int = 1,
     cache=None,
+    supervision=None,
 ) -> Dict[float, List[Figure8Point]]:
     """All curves, grouped by access mean.
 
     The grid's runs are independent, so they fan through
     :func:`repro.exec.execute` — ``jobs`` workers, optional result
-    ``cache`` — and come back in grid order regardless of scheduling.
+    ``cache``, optional :class:`repro.exec.Supervision` — and come
+    back in grid order regardless of scheduling.
     """
     config = base_config(scale)
     stations = list(stations) if stations else scaled_stations(scale)
@@ -121,7 +123,7 @@ def run_figure8(
         for mean, technique, count in cells
     ]
     results = records_to_results(
-        execute(specs, jobs=jobs, cache=cache, obs=obs)
+        execute(specs, jobs=jobs, cache=cache, obs=obs, supervision=supervision)
     )
     curves: Dict[float, List[Figure8Point]] = {mean: [] for mean in means}
     for (mean, technique, count), result in zip(cells, results):

@@ -57,6 +57,7 @@ def run_table4(
     obs=None,
     jobs: int = 1,
     cache=None,
+    supervision=None,
 ) -> List[Dict]:
     """One row per station count; one improvement column per mean.
 
@@ -78,7 +79,7 @@ def run_table4(
         for count, mean, technique in cells
     ]
     results = records_to_results(
-        execute(specs, jobs=jobs, cache=cache, obs=obs)
+        execute(specs, jobs=jobs, cache=cache, obs=obs, supervision=supervision)
     )
     points = {
         cell: point_from_result(result, cell[2], cell[1], cell[0])

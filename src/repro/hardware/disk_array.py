@@ -242,6 +242,58 @@ class DiskArray:
         for survivor in survivors:
             self.claim(survivor, owner=owner, slots=halves)
 
+    # ------------------------------------------------------------------
+    # Runtime invariant checks (repro.sim.sanitize)
+    # ------------------------------------------------------------------
+    def verify_invariants(self, sanitizer, interval: int) -> None:
+        """Half-slot accounting checks, reported to ``sanitizer``.
+
+        Per drive: claims fit the two half-slots, every claim is
+        positive, a failed drive holds nothing, and storage stays in
+        ``[0, capacity]``.  Across the array: the running claim total
+        equals the per-drive sum (the pair is updated on separate code
+        paths — claim/release/fail — and drifting apart would corrupt
+        the utilisation statistics silently).
+        """
+        claimed_total = 0
+        for state in self.disks:
+            claimed = state.claimed_slots
+            claimed_total += claimed
+            sanitizer.expect(
+                claimed <= SLOTS_PER_DISK,
+                "half_slots",
+                f"disk {state.index} oversubscribed in interval "
+                f"{interval}: {state.claims!r}",
+            )
+            sanitizer.expect(
+                all(halves > 0 for halves in state.claims.values()),
+                "half_slots",
+                f"disk {state.index} holds a non-positive claim in "
+                f"interval {interval}: {state.claims!r}",
+            )
+            if state.failed:
+                sanitizer.expect(
+                    claimed == 0,
+                    "half_slots",
+                    f"failed disk {state.index} still holds claims in "
+                    f"interval {interval}: {state.claims!r}",
+                )
+            sanitizer.expect(
+                -1e-9 <= state.used_cylinders
+                <= self.model.num_cylinders + 1e-9,
+                "storage_bounds",
+                f"disk {state.index} used_cylinders "
+                f"{state.used_cylinders} outside [0, "
+                f"{self.model.num_cylinders}]",
+            )
+        sanitizer.expect(
+            claimed_total == self._claimed_this_interval,
+            "half_slots",
+            f"array claim total drifted in interval {interval}: running "
+            f"sum {self._claimed_this_interval} != per-drive sum "
+            f"{claimed_total}",
+        )
+
     def idle_disks(self) -> List[int]:
         """Indices of fully idle drives this interval."""
         return [d.index for d in self.disks if d.claimed_slots == 0]

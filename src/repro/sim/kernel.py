@@ -177,9 +177,13 @@ class Simulation:
     dispatch and nothing more.
     """
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, sanitizer=None) -> None:
         self.now = 0.0
         self.tracer = tracer
+        # Optional repro.sim.sanitize.Sanitizer: event-time
+        # monotonicity violations are reported to it (tallied in check
+        # mode) in addition to the kernel's own hard error below.
+        self.sanitizer = sanitizer
         self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
         self._sequence = 0
         self._process_count = 0
@@ -228,6 +232,8 @@ class Simulation:
         if not self._heap:
             return False
         time, _seq, callback, arg = heapq.heappop(self._heap)
+        if self.sanitizer is not None:
+            self.sanitizer.note_time("kernel.now", time)
         if time < self.now:
             raise SimulationError(
                 f"simulation clock would move backwards: {time} < {self.now}"

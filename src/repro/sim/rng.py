@@ -15,6 +15,8 @@ import random
 from bisect import bisect_left
 from typing import List, Optional, Sequence
 
+from repro.sim import sanitize
+
 
 def substream_salt(name: str) -> int:
     """A stable integer salt for a named substream.
@@ -39,9 +41,17 @@ class RandomStream:
         return f"<RandomStream seed={self.seed!r}>"
 
     def fork(self, salt: int) -> "RandomStream":
-        """Derive an independent stream (stable for a given seed+salt)."""
+        """Derive an independent stream (stable for a given seed+salt).
+
+        Every derived seed is reported to the active sanitizer (see
+        :mod:`repro.sim.sanitize`): handing the same derived seed to
+        two subsystems in one run is a correlation bug the sanitizer's
+        ``rng_substream_reuse`` check flags.
+        """
         base = self.seed if self.seed is not None else 0
-        return RandomStream(seed=(base * 1_000_003 + salt) & 0x7FFF_FFFF_FFFF_FFFF)
+        seed = (base * 1_000_003 + salt) & 0x7FFF_FFFF_FFFF_FFFF
+        sanitize.note_stream_seed(seed)
+        return RandomStream(seed=seed)
 
     def substream(self, name: str) -> "RandomStream":
         """Derive an independent *named* stream (stable for seed+name).

@@ -75,6 +75,11 @@ class SimulationConfig:
     seed: int = 42
     preload: bool = True
     fill_factor: float = 1.0
+    #: Runtime invariant checking (repro.sim.sanitize): "off" |
+    #: "check" (tally sanitize.* counters) | "strict" (raise
+    #: SanitizeError).  Cannot change simulation results, so it is
+    #: excluded from the cache key (see repro.exec.spec.spec_digest).
+    sanitize: str = "off"
     # Fault tolerance (repro.faults).  All times are in *intervals*.
     mttf: Optional[float] = None  # mean time to failure per drive; None = no random failures
     mttr: Optional[float] = None  # mean time to repair; None = failed drives stay down
@@ -105,6 +110,11 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"{self.technique} needs D divisible by M: "
                 f"D={self.num_disks}, M={self.degree}"
+            )
+        if self.sanitize not in ("off", "check", "strict"):
+            raise ConfigurationError(
+                f"sanitize must be one of off/check/strict, "
+                f"got {self.sanitize!r}"
             )
         # Fault-tolerance knobs.
         if self.redundancy not in ("none", "mirror", "parity"):

@@ -40,6 +40,7 @@ class IntervalEngine:
         technique: str = "",
         access_mean: Optional[float] = None,
         obs=None,
+        sanitizer=None,
     ) -> None:
         if interval_length <= 0:
             raise ConfigurationError(
@@ -52,6 +53,9 @@ class IntervalEngine:
         self.access_mean = access_mean
         self.interval = 0
         self.obs = obs
+        # Optional repro.sim.sanitize.Sanitizer; checked once per
+        # interval in run() so the step path stays untouched.
+        self.sanitizer = sanitizer
         if obs is not None:
             self._obs_stride = obs.sample_stride
             # Instance-bound dispatch: the uninstrumented `step` stays
@@ -126,11 +130,15 @@ class IntervalEngine:
         )
         end_of_warmup = self.interval + warmup_intervals
         end_of_run = end_of_warmup + measure_intervals
+        sanitizer = self.sanitizer
         while self.interval < end_of_run:
             in_window = self.interval >= end_of_warmup
+            t = self.interval
             for completion in self.step():
                 if in_window:
                     result.record(completion)
+            if sanitizer is not None:
+                sanitizer.check_interval(self.policy, t)
             if in_window:
                 sample = self.policy.utilization_sample()
                 result.record_utilization(

@@ -16,6 +16,7 @@ once instead of once per run, in the parent and in every worker.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import IntervalEngine
 from repro.simulation.policy import StoragePolicy
 from repro.simulation.results import SimulationResult
+from repro.sim import sanitize
 from repro.sim.rng import RandomStream
 from repro.vdr.clusters import ClusterArray
 from repro.vdr.scheduler import VirtualReplicationPolicy
@@ -214,13 +216,18 @@ def preload_ids(config: SimulationConfig, access: AccessDistribution) -> List[in
 
 
 def build_engine(
-    config: SimulationConfig, obs=None, catalog: Optional[Catalog] = None
+    config: SimulationConfig,
+    obs=None,
+    catalog: Optional[Catalog] = None,
+    sanitizer=None,
 ) -> IntervalEngine:
     """Assemble the full system for one run.
 
     ``catalog`` lets callers supply the (immutable) database; by
     default the per-process memo is used so sweeps that only vary
-    workload fields share one build.
+    workload fields share one build.  ``sanitizer`` (a
+    :class:`repro.sim.sanitize.Sanitizer`) enables per-interval
+    runtime invariant checks.
     """
     if catalog is None:
         catalog = cached_catalog(config)
@@ -241,7 +248,22 @@ def build_engine(
         technique=config.technique,
         access_mean=config.access_mean,
         obs=obs,
+        sanitizer=sanitizer,
     )
+
+
+def effective_sanitize_mode(config: SimulationConfig) -> str:
+    """The sanitize mode a run should actually use.
+
+    The config field wins when set; when it is left at ``"off"`` the
+    ``REPRO_SANITIZE`` environment variable may raise it (CI uses this
+    to run the whole golden suite under ``strict`` without touching
+    configs — the field is excluded from cache keys, so this cannot
+    fork the cache either way).
+    """
+    if config.sanitize != "off":
+        return config.sanitize
+    return sanitize.parse_mode(os.environ.get(sanitize.SANITIZE_ENV, "off"))
 
 
 def run_experiment(config: SimulationConfig, obs=None) -> SimulationResult:
@@ -259,8 +281,15 @@ def run_experiment(config: SimulationConfig, obs=None) -> SimulationResult:
             expected_intervals=config.warmup_intervals
             + config.measure_intervals,
         )
-    engine = build_engine(config, obs=run_obs)
-    result = engine.run(config.warmup_intervals, config.measure_intervals)
+    sanitizer = sanitize.build_sanitizer(
+        effective_sanitize_mode(config), obs=run_obs
+    )
+    # Activation covers build + run so module-level hooks (RNG
+    # substream tracking) see the sanitizer without plumbing it
+    # through every constructor.
+    with sanitize.activation(sanitizer):
+        engine = build_engine(config, obs=run_obs, sanitizer=sanitizer)
+        result = engine.run(config.warmup_intervals, config.measure_intervals)
     if run_obs is not None:
         disk_manager = getattr(engine.policy, "disk_manager", None)
         if disk_manager is not None:
@@ -276,13 +305,16 @@ def run_sweep(
     obs=None,
     jobs: int = 1,
     cache=None,
+    supervision=None,
 ) -> List[SimulationResult]:
     """Run ``base`` once per value of ``field``.
 
     ``jobs`` fans the runs across a worker pool and ``cache`` (a
     :class:`repro.exec.ResultCache`) memoises finished runs; both
     leave the returned results byte-identical to a plain serial
-    sweep (see docs/parallel_execution.md).
+    sweep (see docs/parallel_execution.md).  ``supervision`` (a
+    :class:`repro.exec.Supervision`) tunes timeouts, retries, and
+    journaling (see docs/resilient_execution.md).
     """
     from repro.exec import execute, experiment_spec, records_to_results
 
@@ -292,7 +324,9 @@ def run_sweep(
         experiment_spec(base.with_(**{field: value}))
         for value in values
     ]
-    records = execute(specs, jobs=jobs, cache=cache, obs=obs)
+    records = execute(
+        specs, jobs=jobs, cache=cache, obs=obs, supervision=supervision
+    )
     return records_to_results(records)
 
 

@@ -235,6 +235,54 @@ class VirtualReplicationPolicy(StoragePolicy):
                 queued=len(self._queue), active=active,
             )
 
+    # ------------------------------------------------------------------
+    # Runtime invariant checks (repro.sim.sanitize)
+    # ------------------------------------------------------------------
+    def verify_invariants(self, sanitizer, interval: int) -> None:
+        """VDR invariant suite: copy directory, capacity, event times.
+
+        The copy directory and the per-cluster resident sets are
+        updated on different code paths (admission, eviction, fault
+        eviction); a disagreement between them means a display could
+        be admitted onto a cluster that no longer holds its object.
+        """
+        clusters = self.clusters.clusters
+        for object_id, holders in self.clusters.copies.items():
+            for index in holders:
+                sanitizer.expect(
+                    0 <= index < len(clusters)
+                    and object_id in clusters[index].resident,
+                    "copy_directory",
+                    f"copy directory lists object {object_id} on "
+                    f"cluster {index}, which does not hold it "
+                    f"(interval {interval})",
+                )
+        for cluster in clusters:
+            sanitizer.expect(
+                len(cluster.resident) <= cluster.capacity_objects,
+                "storage_bounds",
+                f"cluster {cluster.index} holds {len(cluster.resident)} "
+                f"objects over capacity {cluster.capacity_objects} "
+                f"(interval {interval})",
+            )
+            for object_id in cluster.resident:
+                sanitizer.expect(
+                    cluster.index in self.clusters.copies.get(object_id, ()),
+                    "copy_directory",
+                    f"cluster {cluster.index} holds object {object_id} "
+                    f"missing from the copy directory (interval "
+                    f"{interval})",
+                )
+        # Event-time monotonicity: every live (non-cancelled) event
+        # due at or before this interval must have been retired.
+        for time, seq, kind, cluster_index, _payload in self._events:
+            if time <= interval and seq not in self._cancelled_seqs:
+                sanitizer.violation(
+                    "event_time",
+                    f"{kind} event on cluster {cluster_index} due at "
+                    f"{time} still queued after interval {interval}",
+                )
+
     def pending_count(self) -> int:
         """Queued requests plus active displays."""
         active = sum(

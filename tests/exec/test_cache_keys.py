@@ -126,12 +126,26 @@ class TestPerturbationsChangeKey:
         )
 
     def test_every_config_field_is_hashed(self):
-        """No config field may be invisible to the cache key."""
+        """No config field may be invisible to the cache key, except
+        the explicitly declared exclusions (fields that cannot change
+        a run's payload)."""
         from repro.exec.hashing import canonical
+        from repro.exec.spec import DIGEST_EXCLUDED_CONFIG_FIELDS
 
         hashed = set(canonical(base_config()))
         declared = {f.name for f in dataclasses.fields(base_config())}
         assert hashed == declared
+        assert set(DIGEST_EXCLUDED_CONFIG_FIELDS) == {"sanitize"}
+
+    def test_sanitize_mode_is_excluded_from_the_key(self):
+        """Sanitize only adds checks — all three modes must share one
+        cache entry (a strict CI pass warms the cache for plain runs)."""
+        config = base_config()
+        digests = {
+            spec_digest(experiment_spec(config.with_(sanitize=mode)))
+            for mode in ("off", "check", "strict")
+        }
+        assert len(digests) == 1
 
     def test_kind_is_part_of_the_key(self):
         params = {"value": 1}

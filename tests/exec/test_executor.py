@@ -106,6 +106,36 @@ class TestExecute:
         assert "b4" in str(excinfo.value)
         assert excinfo.value.failures[0].error is not None
 
+    def test_sweep_failure_message_caps_the_list(self):
+        from repro.exec.executor import MAX_LISTED_FAILURES, RunRecord
+
+        failures = [
+            RunRecord(
+                index=i, kind="experiment", label=f"row-{i}", digest="",
+                status="error", error=f"Boom {i}",
+            )
+            for i in range(MAX_LISTED_FAILURES + 4)
+        ]
+        message = str(SweepFailure(failures))
+        assert message.startswith("7 of the sweep's runs failed: ")
+        for i in range(MAX_LISTED_FAILURES):
+            assert f"row-{i}: Boom {i}" in message
+        assert f"row-{MAX_LISTED_FAILURES}" not in message
+        assert "... and 4 more" in message
+        assert "journal" not in message  # unjournaled sweep: no hint
+
+    def test_sweep_failure_message_names_the_journal(self):
+        from repro.exec.executor import RunRecord
+
+        record = RunRecord(
+            index=0, kind="experiment", label="row", digest="",
+            status="error", error="Boom",
+            sweep_id="abcd1234", journal_path="/tmp/j/abcd1234.jsonl",
+        )
+        message = str(SweepFailure([record]))
+        assert "(journal: /tmp/j/abcd1234.jsonl" in message
+        assert "repro sweep-resume abcd1234" in message
+
     def test_parallel_execution_matches_serial(self):
         specs = [
             experiment_spec(small_config(num_stations=n)) for n in (1, 2)
