@@ -1,0 +1,36 @@
+"""Microbenchmark suites for the simulation hot path.
+
+``repro bench`` (see :mod:`repro.cli`) runs one of three seeded suites
+— ``core`` (the per-interval simulation loop at paper scale),
+``admission`` (slot-pool and admitter microbenchmarks), ``sweep``
+(end-to-end small experiment runs) — once with the occupancy index
+enabled and once with the legacy linear scans (``REPRO_OCC_INDEX=off``),
+checks the two produce byte-identical results, and reports
+median-of-N timings plus the indexed/legacy speedup as JSON
+(schema ``repro-bench/1``).  The committed ``BENCH_sim_hotpath.json``
+is this output; ``docs/performance.md`` records the reproduction
+command and CI guards the speedups against regression.
+"""
+
+from repro.benchmarks.harness import (
+    SCHEMA,
+    BenchCase,
+    BenchError,
+    check_regression,
+    format_report,
+    run_suite,
+    validate_document,
+)
+from repro.benchmarks.suites import SUITES, suite_cases
+
+__all__ = [
+    "SCHEMA",
+    "BenchCase",
+    "BenchError",
+    "SUITES",
+    "check_regression",
+    "format_report",
+    "run_suite",
+    "suite_cases",
+    "validate_document",
+]

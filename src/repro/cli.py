@@ -8,6 +8,8 @@ Commands
 ``figure8``       the Figure 8 grid (both techniques, all skews)
 ``table4``        the Table 4 improvement matrix
 ``faults``        availability grid: MTTF sweep × technique × redundancy
+``bench``         paired hot-path microbenchmarks (occupancy index on
+                  vs off; see docs/performance.md)
 ``sweep-status``  summarise the on-disk result cache (``--journal``:
                   list sweep journals with completed/pending/poisoned)
 ``sweep-resume``  resume an interrupted sweep from its journal
@@ -32,6 +34,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.benchmarks import SUITES
 from repro.errors import ReproError, SweepInterrupted
 from repro.exec import (
     ResultCache,
@@ -394,6 +397,52 @@ def cmd_sweep_resume(args) -> int:
     return main(state.argv)
 
 
+def cmd_bench(args) -> int:
+    """Run a microbenchmark suite paired (occupancy index on vs off).
+
+    Every case must produce byte-identical results in both modes; the
+    speedups are only reported once that holds.  With ``--baseline``
+    the run also fails (exit 3) when any case's speedup falls more
+    than ``--tolerance`` below the committed baseline's — this is the
+    check CI runs on every push.
+    """
+    import json
+
+    from repro.benchmarks import (
+        check_regression,
+        format_report as format_bench_report,
+        run_suite,
+        suite_cases,
+        validate_document,
+    )
+
+    doc = run_suite(
+        args.suite,
+        suite_cases(args.suite, quick=args.quick),
+        quick=args.quick,
+        warmup=args.warmup,
+        repeats=args.repeats,
+    )
+    print(format_bench_report(doc))
+    if args.bench_output:
+        with open(args.bench_output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.bench_output}")
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        validate_document(baseline)
+        failures = check_regression(doc, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"bench regression: {failure}", file=sys.stderr)
+            return 3
+        print(f"no regressions vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_obs_report(args) -> int:
     if args.chrome:
         if not args.trace:
@@ -420,18 +469,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="derived configuration quantities")
+    p_info = sub.add_parser(
+        "info",
+        help="derived configuration quantities",
+        epilog="The configuration model and scaling rules are covered in "
+               "docs/architecture.md (module map) and DESIGN.md (Table 3 "
+               "substitutions).",
+    )
     _add_common(p_info)
     _add_workload(p_info)
     p_info.set_defaults(func=cmd_info)
 
-    p_run = sub.add_parser("run", help="run one experiment")
+    p_run = sub.add_parser(
+        "run",
+        help="run one experiment",
+        epilog="What happens inside a run — admission, delivery, "
+               "validation — is walked through in docs/architecture.md; "
+               "telemetry flags in docs/observability.md; fault flags in "
+               "docs/fault_tolerance.md.",
+    )
     _add_common(p_run)
     _add_workload(p_run)
     _add_faults(p_run)
     p_run.set_defaults(func=cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="sweep station counts")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="sweep station counts",
+        epilog="Sweeps fan out with --jobs and bank rows in the result "
+               "cache (docs/parallel_execution.md); --run-timeout and the "
+               "resumable journal are in docs/resilient_execution.md.",
+    )
     _add_common(p_sweep)
     _add_workload(p_sweep)
     _add_faults(p_sweep)
@@ -442,6 +510,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults = sub.add_parser(
         "faults",
         help="availability grid: MTTF sweep × technique × redundancy",
+        epilog="Failure injection, degraded-mode service, and online "
+               "rebuild are documented in docs/fault_tolerance.md.",
     )
     _add_common(p_faults)
     p_faults.add_argument("--values", type=float, nargs="*", default=None,
@@ -452,18 +522,67 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean time to repair (default: mttf/10)")
     p_faults.set_defaults(func=cmd_faults)
 
-    p_fig8 = sub.add_parser("figure8", help="reproduce Figure 8")
+    p_fig8 = sub.add_parser(
+        "figure8",
+        help="reproduce Figure 8",
+        epilog="The grid parallelises with --jobs and is cached across "
+               "invocations (docs/parallel_execution.md); golden fixtures "
+               "pin its rows in CI.",
+    )
     _add_common(p_fig8)
     p_fig8.add_argument("--values", type=int, nargs="*", default=None)
     p_fig8.set_defaults(func=cmd_figure8)
 
-    p_tab4 = sub.add_parser("table4", help="reproduce Table 4")
+    p_tab4 = sub.add_parser(
+        "table4",
+        help="reproduce Table 4",
+        epilog="The grid parallelises with --jobs and is cached across "
+               "invocations (docs/parallel_execution.md); golden fixtures "
+               "pin its rows in CI.",
+    )
     _add_common(p_tab4)
     p_tab4.add_argument("--values", type=int, nargs="*", default=None)
     p_tab4.set_defaults(func=cmd_table4)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="paired microbenchmarks of the simulation hot path",
+        epilog="Each case runs twice — occupancy index on, then off "
+               "(REPRO_OCC_INDEX=off) — and must produce byte-identical "
+               "results in both modes before any speedup is reported.  "
+               "Suites, methodology, and the committed baseline "
+               "(BENCH_sim_hotpath.json) are documented in "
+               "docs/performance.md.",
+    )
+    p_bench.add_argument("--suite", default="core", choices=list(SUITES),
+                         help="which suite to run (default: core)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="scaled-down cases for CI smoke runs "
+                              "(seconds instead of minutes)")
+    p_bench.add_argument("--warmup", type=int, default=1, metavar="N",
+                         help="discarded runs per case per mode (default: 1)")
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timed runs per case per mode; the median is "
+                              "reported (default: 3)")
+    p_bench.add_argument("--output", dest="bench_output", default=None,
+                         metavar="FILE.json",
+                         help="write the bench document (schema repro-bench/1)")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE.json",
+                         help="compare speedups against a committed bench "
+                              "document; exit 3 on regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         metavar="FRACTION",
+                         help="allowed fractional speedup drop vs the "
+                              "baseline (default: 0.25)")
+    p_bench.set_defaults(func=cmd_bench)
+
     p_status = sub.add_parser(
-        "sweep-status", help="summarise the on-disk result cache"
+        "sweep-status",
+        help="summarise the on-disk result cache",
+        epilog="The result cache and sweep journals are documented in "
+               "docs/parallel_execution.md (cache layout, content "
+               "addressing) and docs/resilient_execution.md (journals, "
+               "poisoned rows, sweep-resume).",
     )
     p_status.add_argument("--cache-dir", default=None, metavar="DIR",
                           help="cache directory (default: $REPRO_CACHE_DIR "
@@ -478,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume = sub.add_parser(
         "sweep-resume",
         help="resume an interrupted sweep from its journal",
+        epilog="Resumed sweeps replay the journalled invocation and "
+               "produce rows byte-identical to an uninterrupted run — "
+               "see docs/resilient_execution.md.",
     )
     p_resume.add_argument("sweep_id",
                           help="sweep id (or unique prefix) from "
@@ -490,6 +612,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser(
         "obs-report",
         help="summarise a metrics file / convert a trace to Chrome format",
+        epilog="Metric families, the trace format, and the Chrome/Perfetto "
+               "workflow are documented in docs/observability.md.",
     )
     p_obs.add_argument("metrics_file", nargs="?", default=None,
                        help="metrics JSON written by --metrics")

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.display import Display
-from repro.core.virtual_disks import SlotPool
+from repro.core.virtual_disks import HALVES_PER_SLOT, SlotPool
 from repro.errors import AdmissionError
 
 
@@ -69,6 +69,16 @@ class Admitter:
         self._n_attempts = 0
         self._n_lanes = 0
         self._n_complete = 0
+        # Negative cache for CONTIGUOUS claims: display_id ->
+        # {rotation offset: pool version at denial}.  A retry at an
+        # offset already denied under the current pool version sees the
+        # *same* window slots in the *same* pool state, so the denial
+        # replays without rebuilding and probing the window.  The
+        # offset cycles with period D/gcd(D, k), so a display stuck in
+        # the queue over a stable pool probes each window once and then
+        # replays every interval.  Stale versions are overwritten on
+        # re-probe; entries are dropped on success/abort.
+        self._denied: Dict[int, Dict[int, int]] = {}
         if obs is not None:
             registry = obs.registry
             self._c_attempts = registry.counter("admission.claim_attempts")
@@ -112,20 +122,59 @@ class Admitter:
             return plan
         pool = self.pool
         d = pool.num_disks
-        window = [
-            pool.slot_at((display.start_disk + lane.fragment) % d, interval)
-            for lane in display.lanes
-        ]
         halves = display.lane_halves()
-        if not all(
-            pool.is_free(slot, h) for slot, h in zip(window, halves)
-        ):
-            return plan
+        if pool.indexed:
+            # The window's slots are distinct (M <= D consecutive
+            # drives), so the capacity buckets give O(1) necessary
+            # conditions: enough fully-free slots for the full-
+            # bandwidth lanes and enough slots with any headroom for
+            # the rest.  A denial also replays for free at any
+            # rotation offset already denied under the current pool
+            # version — identical window, identical occupancy,
+            # identical answer.  Everything here must stay O(1)-per-
+            # probe: this runs once per queued display per interval,
+            # and in churny workloads (version bumping every interval)
+            # the cache misses, so the miss path must cost less than
+            # the window probe it precedes.
+            offset = pool.stride * interval % d
+            denied = self._denied.get(display.display_id)
+            if denied is not None and denied.get(offset) == pool.version:
+                return plan
+            buckets = pool._buckets
+            if (
+                buckets[HALVES_PER_SLOT] < display.full_lane_count()
+                or d - buckets[0] < len(halves)
+            ):
+                self._record_denial(display.display_id, offset)
+                return plan
+            # Inline window probe: direct free-half reads with the
+            # rotation arithmetic hoisted (slot_at(target, t) unrolls
+            # to (start + fragment - k·t) mod D), mirroring the
+            # fragmented hot loop.
+            free = pool._free
+            start = display.start_disk
+            window = []
+            for lane, h in zip(display.lanes, halves):
+                slot = (start + lane.fragment - offset) % d
+                if free[slot] < h:
+                    self._record_denial(display.display_id, offset)
+                    return plan
+                window.append(slot)
+        else:
+            window = [
+                pool.slot_at((display.start_disk + lane.fragment) % d, interval)
+                for lane in display.lanes
+            ]
+            if not all(
+                pool.is_free(slot, h) for slot, h in zip(window, halves)
+            ):
+                return plan
         for lane, slot, h in zip(display.lanes, window, halves):
             pool.claim(slot, display.display_id, halves=h)
             lane.slot = slot
             lane.ready = interval
             plan.claimed_now.append(slot)
+        self._denied.pop(display.display_id, None)
         plan.complete = True
         # Cold path (a successful whole-window claim): counting here
         # keeps the try_claim hot path to a single accumulator add.
@@ -133,27 +182,55 @@ class Admitter:
         self._n_complete += 1
         return plan
 
+    def _record_denial(self, display_id: int, offset: int) -> None:
+        cache = self._denied.get(display_id)
+        if cache is None:
+            cache = self._denied[display_id] = {}
+        cache[offset] = self.pool.version
+
     # ------------------------------------------------------------------
     # FRAGMENTED: lazy incremental claims (§3.2.1)
     # ------------------------------------------------------------------
     def _claim_fragmented(self, display: Display, interval: int) -> AdmissionPlan:
         plan = AdmissionPlan(display=display)
         pool = self.pool
+        if display.fully_laned:
+            # Identical tallies to falling through the loop (every lane
+            # skipped) — just without walking the lanes.
+            plan.complete = True
+            self._n_complete += 1
+            return plan
+        indexed = pool.indexed
+        if indexed and not pool._free_half_total:
+            # Saturated pool: no lane can claim anything this interval.
+            # At high load this is the dominant case, and it turns the
+            # whole per-display probe into one integer comparison.
+            return plan
+        # The per-lane probe below is the hottest loop in the simulator
+        # (one pass per queued display per interval), so the rotation
+        # arithmetic is hoisted out (slot_at(target, t) unrolls to
+        # (start + fragment - k·t) mod D) and the indexed path reads
+        # the free-half array directly.
         d = pool.num_disks
         halves = display.lane_halves()
+        start = display.start_disk
+        offset = pool.stride * interval % d
+        free = pool._free
+        remaining = 0
         for lane, h in zip(display.lanes, halves):
-            if lane.claimed:
+            if lane.slot is not None:
                 continue
-            target = (display.start_disk + lane.fragment) % d
-            slot = pool.slot_at(target, interval)
-            if pool.is_free(slot, h):
+            slot = (start + lane.fragment - offset) % d
+            if free[slot] >= h if indexed else pool.is_free(slot, h):
                 pool.claim(slot, display.display_id, halves=h)
                 lane.slot = slot
                 lane.ready = interval
                 plan.claimed_now.append(slot)
+            else:
+                remaining += 1
         if plan.claimed_now:
             self._n_lanes += len(plan.claimed_now)
-        if display.fully_laned:
+        if not remaining:
             plan.complete = True
             self._n_complete += 1
         return plan
@@ -172,6 +249,7 @@ class Admitter:
 
     def abort(self, display: Display) -> int:
         """Return every slot of an aborted display; returns the count."""
+        self._denied.pop(display.display_id, None)
         return self.pool.release_all(display.display_id)
 
 

@@ -83,15 +83,37 @@ class Display:
                     f"display with {self.degree_halves} half-disks needs "
                     f"{expected} lanes, got {len(self.lanes)}"
                 )
+        # Lanes are only ever claimed, never un-claimed (a display that
+        # loses a lane is aborted wholesale), so "fully laned" is a
+        # one-way latch and the derived quantities below are immutable
+        # once it flips — cache them instead of recomputing per interval.
+        self._fully_laned = False
+        self._lane_halves: Optional[List[int]] = None
+        self._full_lanes: Optional[int] = None
+        self._deliver_start: Optional[int] = None
+        self._buffer_demand: Optional[float] = None
 
     def lane_halves(self) -> List[int]:
         """Half-slots each lane claims: 2 per lane for full-bandwidth
         displays; the last lane claims 1 when ``degree_halves`` is odd."""
-        if self.degree_halves is None:
-            return [2] * len(self.lanes)
-        return [
-            min(2, self.degree_halves - 2 * lane.fragment) for lane in self.lanes
-        ]
+        if self._lane_halves is None:
+            if self.degree_halves is None:
+                self._lane_halves = [2] * len(self.lanes)
+            else:
+                self._lane_halves = [
+                    min(2, self.degree_halves - 2 * lane.fragment)
+                    for lane in self.lanes
+                ]
+        return self._lane_halves
+
+    def full_lane_count(self) -> int:
+        """Lanes that claim both half-slots (all of them unless the
+        display runs in the low-bandwidth mode); cached like
+        :meth:`lane_halves` — the admission fast path reads this per
+        probe."""
+        if self._full_lanes is None:
+            self._full_lanes = sum(1 for h in self.lane_halves() if h == 2)
+        return self._full_lanes
 
     def __repr__(self) -> str:
         claimed = sum(1 for lane in self.lanes if lane.claimed)
@@ -106,7 +128,12 @@ class Display:
     @property
     def fully_laned(self) -> bool:
         """True once every lane owns a virtual disk."""
-        return all(lane.claimed for lane in self.lanes)
+        if self._fully_laned:
+            return True
+        if all(lane.claimed for lane in self.lanes):
+            self._fully_laned = True
+            return True
+        return False
 
     @property
     def pending_lanes(self) -> List[Lane]:
@@ -114,13 +141,25 @@ class Display:
         return [lane for lane in self.lanes if not lane.claimed]
 
     @property
+    def pending_lane_count(self) -> int:
+        """Lanes still waiting for a virtual disk, without building the
+        list — the admission budget check runs this per queue entry."""
+        if self._fully_laned:
+            return 0
+        return sum(1 for lane in self.lanes if not lane.claimed)
+
+    @property
     def deliver_start(self) -> int:
         """Interval of the first subobject's delivery (max lane ready)."""
+        if self._deliver_start is not None:
+            return self._deliver_start
         if not self.fully_laned:
             raise SchedulingError(
                 f"display {self.display_id} is not fully laned yet"
             )
-        return max(lane.ready for lane in self.lanes)  # type: ignore[arg-type]
+        start = max(lane.ready for lane in self.lanes)  # type: ignore[arg-type]
+        self._deliver_start = start
+        return start
 
     @property
     def finish_interval(self) -> int:
@@ -165,7 +204,12 @@ class Display:
 
     def buffer_demand(self) -> float:
         """Total staging memory (megabits) this display needs."""
-        return sum(self.steady_state_buffers().values()) * self.obj.fragment_size
+        if self._buffer_demand is not None:
+            return self._buffer_demand
+        demand = sum(self.steady_state_buffers().values()) * self.obj.fragment_size
+        if self._fully_laned:
+            self._buffer_demand = demand
+        return demand
 
     # ------------------------------------------------------------------
     # Schedules (used by the validating engine and by tests)

@@ -45,6 +45,10 @@ class _QueueEntry:
     request: Request
     display: Optional[Display] = None
     deferred_placement: bool = False
+    #: Cached object degree for the sjf/largest_first sort keys (an
+    #: object's degree never changes; saves a catalog lookup per entry
+    #: per interval while queued).
+    degree: Optional[int] = None
 
 
 class StaggeredStripingPolicy(StoragePolicy):
@@ -147,6 +151,14 @@ class StaggeredStripingPolicy(StoragePolicy):
         # Fault coordinator (attach_faults); None = fault-free hooks
         # are skipped and the run is byte-identical to the seed.
         self.faults = None
+        # Unclaimed lanes across queued displays, maintained at display
+        # creation and on every lane claim, so the per-interval
+        # anti-hoarding budget is one subtraction instead of a queue
+        # walk.  Queued and active displays are disjoint (an entry
+        # leaves the queue the pass it completes; fault aborts requeue
+        # a bare request), so nothing else moves the count.  The
+        # sanitizer cross-checks it against a recount every interval.
+        self._queued_pending_lanes = 0
         self._queue: List[_QueueEntry] = []
         self._active: Dict[int, Display] = {}
         self._display_request: Dict[int, Request] = {}
@@ -357,7 +369,23 @@ class StaggeredStripingPolicy(StoragePolicy):
             f"staging memory went negative in interval {interval}: "
             f"{self._staging_memory}",
         )
-        for due, display_id, _slot in self._lane_releases:
+        reserved = sum(
+            entry.display.pending_lane_count
+            for entry in self._queue
+            if entry.display is not None
+        )
+        sanitizer.expect(
+            reserved == self._queued_pending_lanes,
+            "occ_index",
+            f"queued pending-lane count drifted in interval {interval}: "
+            f"running {self._queued_pending_lanes} != recount {reserved}",
+        )
+        # Heap-min bounds every entry, so a whole-heap scan is needed
+        # only when something is actually due — O(1) on the common
+        # clean interval instead of O(pending lanes).
+        releases = self._lane_releases
+        stale_possible = bool(releases) and releases[0][0] <= interval
+        for due, display_id, _slot in releases if stale_possible else ():
             if due > interval:
                 continue
             # Fragmented admission activates a display only once its
@@ -429,6 +457,7 @@ class StaggeredStripingPolicy(StoragePolicy):
         )
         replacement = self._new_display(tail, plan.target_start_disk, original)
         self._queue.insert(0, _QueueEntry(request=original, display=replacement))
+        self._queued_pending_lanes += len(replacement.lanes)
         return replacement
 
     # ------------------------------------------------------------------
@@ -499,19 +528,18 @@ class StaggeredStripingPolicy(StoragePolicy):
                     interval, "materialize_done", object=object_id
                 )
 
+    def _entry_degree(self, entry: _QueueEntry) -> int:
+        if entry.degree is None:
+            entry.degree = self.catalog.get(entry.request.object_id).degree
+        return entry.degree
+
     def _scan_order(self) -> List[_QueueEntry]:
         """The queue in the configured walk order (the stored queue
         itself always stays in arrival order)."""
         if self.queue_discipline == "sjf":
-            return sorted(
-                self._queue,
-                key=lambda e: self.catalog.get(e.request.object_id).degree,
-            )
+            return sorted(self._queue, key=self._entry_degree)
         if self.queue_discipline == "largest_first":
-            return sorted(
-                self._queue,
-                key=lambda e: -self.catalog.get(e.request.object_id).degree,
-            )
+            return sorted(self._queue, key=lambda e: -self._entry_degree(e))
         return self._queue
 
     def _admission_pass(self, interval: int) -> None:
@@ -540,8 +568,11 @@ class StaggeredStripingPolicy(StoragePolicy):
                     budget -= obj.degree
                 start = self.disk_manager.start_disk(entry.request.object_id)
                 entry.display = self._new_display(obj, start, entry.request)
+                self._queued_pending_lanes += len(entry.display.lanes)
             attempts += 1
             plan = self.admitter.try_claim(entry.display, interval)
+            if plan.claimed_now:
+                self._queued_pending_lanes -= len(plan.claimed_now)
             if plan.complete:
                 self._activate(entry.display)
                 admitted.add(id(entry))
@@ -574,12 +605,15 @@ class StaggeredStripingPolicy(StoragePolicy):
         """
         if self.admitter.mode is not AdmissionMode.FRAGMENTED:
             return None
+        pool = self.disk_manager.pool
+        if pool.indexed:
+            return pool.free_count - self._queued_pending_lanes
         reserved = sum(
-            len(entry.display.pending_lanes)
+            entry.display.pending_lane_count
             for entry in self._queue
-            if entry.display is not None and not entry.display.fully_laned
+            if entry.display is not None
         )
-        return self.disk_manager.pool.free_count - reserved
+        return pool.free_count - reserved
 
     def _new_display(
         self, obj: MediaObject, start_disk: int, request: Request

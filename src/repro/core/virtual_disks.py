@@ -28,12 +28,27 @@ does slot ``z`` next pass over physical drive ``d``?".
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SchedulingError
 
 #: Half-slots per virtual disk.
 HALVES_PER_SLOT = 2
+
+#: Environment switch for the incremental occupancy index (default on).
+#: ``REPRO_OCC_INDEX=off`` falls back to the original linear scans —
+#: kept so `repro bench` can measure indexed-vs-legacy on the same tree
+#: and the paired byte-identity check can prove the index changes
+#: nothing but speed.
+OCC_INDEX_ENV = "REPRO_OCC_INDEX"
+
+
+def occupancy_index_enabled() -> bool:
+    """Occupancy-index default from ``REPRO_OCC_INDEX`` (on unless
+    explicitly disabled with ``off``/``0``/``false``/``no``)."""
+    value = os.environ.get(OCC_INDEX_ENV, "").strip().lower()
+    return value not in {"0", "off", "false", "no"}
 
 
 def physical_disk_of_slot(slot: int, interval: int, stride: int, num_disks: int) -> int:
@@ -85,7 +100,9 @@ class SlotPool:
     two half-bandwidth sub-fragments) in one interval.
     """
 
-    def __init__(self, num_disks: int, stride: int) -> None:
+    def __init__(
+        self, num_disks: int, stride: int, indexed: Optional[bool] = None
+    ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
         if not 1 <= stride <= num_disks:
@@ -96,6 +113,22 @@ class SlotPool:
         self.stride = stride
         # slot -> {owner: halves}
         self._owners: Dict[int, Dict[Hashable, int]] = {}
+        #: When True, per-slot free-half counts and capacity buckets are
+        #: maintained incrementally so every occupancy query is O(1)
+        #: instead of a scan.  The index is pure acceleration: it holds
+        #: exactly the information derivable from ``_owners``, and the
+        #: sanitizer cross-checks the two on every sweep.
+        self.indexed = occupancy_index_enabled() if indexed is None else indexed
+        # free halves per slot (dense; slots are 0..D-1)
+        self._free: List[int] = [HALVES_PER_SLOT] * num_disks
+        # _buckets[h] = number of slots with exactly h free halves
+        self._buckets: List[int] = [0] * HALVES_PER_SLOT + [num_disks]
+        self._free_half_total = num_disks * HALVES_PER_SLOT
+        # Bumped on every successful claim/release; lets callers (the
+        # admission negative cache, the sanitize clean-skip memo) detect
+        # "nothing changed" in O(1).
+        self._version = 0
+        self._verified_clean_version: Optional[int] = None
 
     def __repr__(self) -> str:
         return (
@@ -116,17 +149,49 @@ class SlotPool:
         """Fully free slots."""
         return self.num_disks - self.busy_count
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every successful claim/release."""
+        return self._version
+
     def claimed_halves(self, slot: int) -> int:
         """Half-slots of ``slot`` currently claimed."""
+        if self.indexed:
+            return HALVES_PER_SLOT - self._free[slot % self.num_disks]
         return sum(self._owners.get(slot % self.num_disks, {}).values())
 
     def free_halves(self, slot: int) -> int:
         """Half-slots of ``slot`` still free."""
+        if self.indexed:
+            return self._free[slot % self.num_disks]
         return HALVES_PER_SLOT - self.claimed_halves(slot)
 
     def is_free(self, slot: int, halves: int = HALVES_PER_SLOT) -> bool:
         """True when ``slot`` has at least ``halves`` free half-slots."""
         return self.free_halves(slot) >= halves
+
+    @property
+    def free_half_total(self) -> int:
+        """Free half-slots across the whole pool."""
+        if self.indexed:
+            return self._free_half_total
+        return self.num_disks * HALVES_PER_SLOT - sum(
+            sum(holders.values()) for holders in self._owners.values()
+        )
+
+    @property
+    def has_free_halves(self) -> bool:
+        """True when any half-slot anywhere is still free — the O(1)
+        saturation fast-out the admission loop leans on."""
+        return self.free_half_total > 0
+
+    def slots_with_headroom(self, halves: int = 1) -> int:
+        """Number of slots with at least ``halves`` free half-slots."""
+        if self.indexed:
+            return sum(self._buckets[halves:])
+        return sum(
+            1 for z in range(self.num_disks) if self.free_halves(z) >= halves
+        )
 
     def owners_of(self, slot: int) -> Dict[Hashable, int]:
         """Current owners of ``slot`` with their half counts."""
@@ -169,6 +234,8 @@ class SlotPool:
                 f"{owner!r}:{halves}"
             )
         holders[owner] = holders.get(owner, 0) + halves
+        if self.indexed:
+            self._index_adjust(slot, -halves)
 
     def release(self, slot: int, owner: Hashable) -> int:
         """Return all of ``owner``'s halves of ``slot``; returns count."""
@@ -181,6 +248,8 @@ class SlotPool:
         halves = holders.pop(owner)
         if not holders:
             del self._owners[slot]
+        if self.indexed:
+            self._index_adjust(slot, halves)
         return halves
 
     def release_all(self, owner: Hashable) -> int:
@@ -188,10 +257,24 @@ class SlotPool:
         slots = self.slots_of(owner)
         for slot in slots:
             holders = self._owners[slot]
-            del holders[owner]
+            halves = holders.pop(owner)
             if not holders:
                 del self._owners[slot]
+            if self.indexed:
+                self._index_adjust(slot, halves)
         return len(slots)
+
+    def _index_adjust(self, slot: int, delta: int) -> None:
+        """Move ``slot`` between capacity buckets after a claim
+        (``delta < 0``) or release (``delta > 0``) of ``|delta|``
+        halves, and bump the pool version."""
+        before = self._free[slot]
+        after = before + delta
+        self._free[slot] = after
+        self._buckets[before] -= 1
+        self._buckets[after] += 1
+        self._free_half_total += delta
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Runtime invariant checks (repro.sim.sanitize)
@@ -203,7 +286,20 @@ class SlotPool:
         ``HALVES_PER_SLOT`` claimed halves, each owner a positive
         count, and no empty owner map lingers (an empty map would make
         ``busy_count`` overcount and admission under-admit forever).
+        When the occupancy index is on, the sweep also cross-checks the
+        per-slot free counts, capacity buckets, and free-half total
+        against a brute-force recount from ownership — and is skipped
+        entirely while the pool is unchanged since its last clean sweep
+        (same ``version``): re-verifying untouched, known-clean state
+        can only re-tally zero.
         """
+        if (
+            self.indexed
+            and self._verified_clean_version is not None
+            and self._verified_clean_version == self._version
+        ):
+            return
+        violations_before = sanitizer.total
         for slot, holders in self._owners.items():
             sanitizer.expect(
                 bool(holders),
@@ -223,6 +319,37 @@ class SlotPool:
                 "half_slots",
                 f"virtual disk {slot} holds a non-positive claim in "
                 f"interval {interval}: {holders!r}",
+            )
+        if self.indexed:
+            expected_free = [HALVES_PER_SLOT] * self.num_disks
+            for slot, holders in self._owners.items():
+                expected_free[slot] -= sum(holders.values())
+            sanitizer.expect(
+                self._free == expected_free,
+                "occ_index",
+                f"free-half index diverged from ownership in interval "
+                f"{interval}",
+            )
+            expected_buckets = [0] * (HALVES_PER_SLOT + 1)
+            for free in expected_free:
+                if 0 <= free <= HALVES_PER_SLOT:
+                    expected_buckets[free] += 1
+            sanitizer.expect(
+                self._buckets == expected_buckets,
+                "occ_index",
+                f"capacity buckets diverged in interval {interval}: "
+                f"{self._buckets} != {expected_buckets}",
+            )
+            sanitizer.expect(
+                self._free_half_total == sum(expected_free),
+                "occ_index",
+                f"free-half total diverged in interval {interval}: "
+                f"{self._free_half_total} != {sum(expected_free)}",
+            )
+            self._verified_clean_version = (
+                self._version
+                if sanitizer.total == violations_before
+                else None
             )
 
     # ------------------------------------------------------------------

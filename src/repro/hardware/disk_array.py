@@ -68,6 +68,13 @@ class DiskArray:
         self.intervals_elapsed = 0
         self._slot_interval_sum = 0
         self._claimed_this_interval = 0
+        # Incrementally maintained aggregates: a version counter bumped
+        # by every state change the sanitize sweep inspects, and the
+        # failed-drive count (so fault-free runs answer "any failures?"
+        # without scanning D drives every interval).
+        self._version = 0
+        self._failed_count = 0
+        self._verified_clean_version: Optional[int] = None
 
     def __repr__(self) -> str:
         return (
@@ -106,6 +113,7 @@ class DiskArray:
                 f"{cylinders:.2f} > {self.model.num_cylinders}"
             )
         state.used_cylinders += cylinders
+        self._version += 1
 
     def evict(self, disk: int, cylinders: float) -> None:
         """Free ``cylinders`` on drive ``disk``."""
@@ -116,6 +124,7 @@ class DiskArray:
                 f"{state.used_cylinders:.2f}"
             )
         state.used_cylinders = max(0.0, state.used_cylinders - cylinders)
+        self._version += 1
 
     def storage_skew(self) -> Tuple[float, float]:
         """Return ``(min, max)`` used cylinders across drives."""
@@ -127,11 +136,13 @@ class DiskArray:
     # ------------------------------------------------------------------
     def begin_interval(self) -> None:
         """Start a new time interval: all bandwidth claims reset."""
+        if self._claimed_this_interval:
+            self._version += 1
+            for state in self.disks:
+                state.claims.clear()
         self._slot_interval_sum += self._claimed_this_interval
         self._claimed_this_interval = 0
         self.intervals_elapsed += 1
-        for state in self.disks:
-            state.claims.clear()
 
     def is_idle(self, disk: int) -> bool:
         """True when no half-slot of ``disk`` is claimed this interval."""
@@ -163,12 +174,15 @@ class DiskArray:
             )
         state.claims[owner] = state.claims.get(owner, 0) + slots
         self._claimed_this_interval += slots
+        self._version += 1
 
     def release(self, disk: int, owner: Hashable) -> None:
         """Drop ``owner``'s claim on ``disk`` within the current interval."""
         state = self.disks[disk]
         slots = state.claims.pop(owner, 0)
-        self._claimed_this_interval -= slots
+        if slots:
+            self._claimed_this_interval -= slots
+            self._version += 1
 
     # ------------------------------------------------------------------
     # Failure / repair (degraded mode; see repro.faults)
@@ -191,6 +205,8 @@ class DiskArray:
             self._claimed_this_interval -= dropped
             state.claims.clear()
         state.failed = True
+        self._failed_count += 1
+        self._version += 1
         return state.used_cylinders
 
     def repair(self, disk: int) -> None:
@@ -203,13 +219,40 @@ class DiskArray:
         if not state.failed:
             raise FaultError(f"disk {disk} is not failed")
         state.failed = False
+        self._failed_count -= 1
+        self._version += 1
 
     def is_failed(self, disk: int) -> bool:
         """True while drive ``disk`` is down."""
         return self.disks[disk].failed
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every inspected-state change."""
+        return self._version
+
+    @property
+    def has_failures(self) -> bool:
+        """True while any drive is down — O(1), no drive scan."""
+        return self._failed_count > 0
+
+    @property
+    def failed_count(self) -> int:
+        """Number of currently failed drives."""
+        return self._failed_count
+
+    @property
+    def free_half_total(self) -> int:
+        """Free half-slots across healthy drives this interval."""
+        return (
+            (self.num_disks - self._failed_count) * SLOTS_PER_DISK
+            - self._claimed_this_interval
+        )
+
     def failed_disks(self) -> List[int]:
         """Indices of currently failed drives."""
+        if not self._failed_count:
+            return []
         return [d.index for d in self.disks if d.failed]
 
     def reconstruction_claim(
@@ -253,12 +296,26 @@ class DiskArray:
         ``[0, capacity]``.  Across the array: the running claim total
         equals the per-drive sum (the pair is updated on separate code
         paths — claim/release/fail — and drifting apart would corrupt
-        the utilisation statistics silently).
+        the utilisation statistics silently), and the failed-drive
+        count matches a recount.  The O(D) sweep is skipped while the
+        array is unchanged since its last clean sweep (same
+        ``version``): every mutation path bumps the version, so any new
+        state is swept at least once, and re-verifying untouched clean
+        state can only re-tally zero.
         """
+        if (
+            self._verified_clean_version is not None
+            and self._verified_clean_version == self._version
+        ):
+            return
+        violations_before = sanitizer.total
         claimed_total = 0
+        failed_total = 0
         for state in self.disks:
             claimed = state.claimed_slots
             claimed_total += claimed
+            if state.failed:
+                failed_total += 1
             sanitizer.expect(
                 claimed <= SLOTS_PER_DISK,
                 "half_slots",
@@ -292,6 +349,15 @@ class DiskArray:
             f"array claim total drifted in interval {interval}: running "
             f"sum {self._claimed_this_interval} != per-drive sum "
             f"{claimed_total}",
+        )
+        sanitizer.expect(
+            failed_total == self._failed_count,
+            "occ_index",
+            f"failed-drive count drifted in interval {interval}: running "
+            f"count {self._failed_count} != recount {failed_total}",
+        )
+        self._verified_clean_version = (
+            self._version if sanitizer.total == violations_before else None
         )
 
     def idle_disks(self) -> List[int]:

@@ -32,10 +32,45 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Interrupt, ProcessKilled, SimEvent
+
+
+class Timer:
+    """Handle for a cancellable calendar entry.
+
+    Cancellation is *lazy*: the heap entry stays where it is and is
+    discarded when it reaches the front (O(1) per cancel instead of an
+    O(n) remove + re-heapify).  The calendar compacts itself when
+    cancelled entries pile up, so a workload that cancels most of its
+    timers never scans dead weight.
+    """
+
+    __slots__ = ("_sim", "_seq", "time", "cancelled")
+
+    def __init__(self, sim: "Simulation", seq: int, time: float) -> None:
+        self._sim = sim
+        self._seq = seq
+        self.time = time
+        self.cancelled = False
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Timer t={self.time:.6g} {state}>"
+
+    def cancel(self) -> None:
+        """Invalidate the entry; a no-op if already cancelled.
+
+        Must not be called after the entry has fired (the owner is
+        expected to drop its handle on fire — see ``Process.resume``);
+        a fired sequence number would linger in the tombstone set
+        until the next compaction.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._cancel_entry(self._seq)
 
 
 @dataclass(frozen=True)
@@ -80,6 +115,7 @@ class Process:
         self.result: Any = None
         self.done_event = SimEvent(sim, name=f"{name}.done")
         self._waiting_on: Optional[SimEvent] = None
+        self._hold_timer: Optional[Timer] = None
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "done"
@@ -90,6 +126,7 @@ class Process:
         if not self.alive:
             return
         self._waiting_on = None
+        self._hold_timer = None
         try:
             command = self.gen.send(value)
         except StopIteration as stop:
@@ -104,6 +141,12 @@ class Process:
         if self._waiting_on is not None:
             self._waiting_on.remove_waiter(self)
             self._waiting_on = None
+        if self._hold_timer is not None:
+            # The process was mid-hold: cancel its pending resume, or
+            # the stale entry would fire later and advance the
+            # generator a second time at the wrong instant.
+            self._hold_timer.cancel()
+            self._hold_timer = None
         try:
             command = self.gen.throw(exc)
         except StopIteration as stop:
@@ -139,7 +182,9 @@ class Process:
                     "hold", self.name, sim.now,
                     delay=command.delay, track=self.name,
                 )
-            sim.schedule(command.delay, self.resume, None)
+            self._hold_timer = sim.schedule_cancellable(
+                command.delay, self.resume, None
+            )
         elif isinstance(command, Wait):
             self._block_on(command.event)
         elif isinstance(command, SimEvent):
@@ -188,6 +233,10 @@ class Simulation:
         self._sequence = 0
         self._process_count = 0
         self._running = False
+        # Sequence numbers of lazily-cancelled entries (tombstones);
+        # entries are discarded as they surface, and the heap is
+        # rebuilt without them once they outnumber the live entries.
+        self._cancelled_seqs: Set[int] = set()
 
     def __repr__(self) -> str:
         return f"<Simulation t={self.now:.6g} pending={len(self._heap)}>"
@@ -201,6 +250,32 @@ class Simulation:
             raise SimulationError(f"cannot schedule at negative/NaN delay {delay!r}")
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, arg))
+
+    def schedule_cancellable(
+        self, delay: float, callback: Callable[..., None], arg: Any = None
+    ) -> Timer:
+        """Like :meth:`schedule`, returning a :class:`Timer` whose
+        :meth:`~Timer.cancel` invalidates the entry in O(1)."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule at negative/NaN delay {delay!r}")
+        self._sequence += 1
+        time = self.now + delay
+        heapq.heappush(self._heap, (time, self._sequence, callback, arg))
+        return Timer(self, self._sequence, time)
+
+    def _cancel_entry(self, seq: int) -> None:
+        self._cancelled_seqs.add(seq)
+        # Compact once tombstones dominate: one O(n) rebuild amortised
+        # over >= n/2 O(1) cancels, and never for the common workload
+        # that cancels only a handful of timers.
+        if (
+            len(self._cancelled_seqs) > 64
+            and 2 * len(self._cancelled_seqs) > len(self._heap)
+        ):
+            cancelled = self._cancelled_seqs
+            self._heap = [e for e in self._heap if e[1] not in cancelled]
+            heapq.heapify(self._heap)
+            cancelled.clear()
 
     def event(self, name: str = "") -> SimEvent:
         """Create a new :class:`SimEvent` owned by this simulation."""
@@ -228,23 +303,34 @@ class Simulation:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next calendar entry.  Returns False when empty."""
-        if not self._heap:
-            return False
-        time, _seq, callback, arg = heapq.heappop(self._heap)
-        if self.sanitizer is not None:
-            self.sanitizer.note_time("kernel.now", time)
-        if time < self.now:
-            raise SimulationError(
-                f"simulation clock would move backwards: {time} < {self.now}"
-            )
-        self.now = time
-        callback(arg)
-        return True
+        """Execute the next live calendar entry.  Returns False when no
+        live entry remains (cancelled tombstones are discarded)."""
+        heap = self._heap
+        cancelled = self._cancelled_seqs
+        while heap:
+            time, seq, callback, arg = heapq.heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            if self.sanitizer is not None:
+                self.sanitizer.note_time("kernel.now", time)
+            if time < self.now:
+                raise SimulationError(
+                    f"simulation clock would move backwards: {time} < {self.now}"
+                )
+            self.now = time
+            callback(arg)
+            return True
+        return False
 
     def peek(self) -> float:
-        """Time of the next calendar entry, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else math.inf
+        """Time of the next live calendar entry, or ``inf`` if none."""
+        heap = self._heap
+        cancelled = self._cancelled_seqs
+        while heap and cancelled and heap[0][1] in cancelled:
+            cancelled.discard(heap[0][1])
+            heapq.heappop(heap)
+        return heap[0][0] if heap else math.inf
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the calendar drains, ``until`` is reached, or
@@ -261,8 +347,8 @@ class Simulation:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
-                executed += 1
+                if self.step():
+                    executed += 1
             else:
                 if until is not None and self.now < until:
                     self.now = until

@@ -1,0 +1,193 @@
+"""Tests for the ``repro bench`` harness: pairing, determinism
+enforcement, document schema, and the regression check CI runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarks import (
+    SCHEMA,
+    SUITES,
+    BenchCase,
+    BenchError,
+    check_regression,
+    format_report,
+    run_suite,
+    suite_cases,
+    validate_document,
+)
+from repro.benchmarks.harness import validate_document as _vd  # re-export check
+from repro.core import virtual_disks
+from repro.core.virtual_disks import SlotPool
+from repro.errors import ReproError
+
+
+def _counting_case(name="count") -> BenchCase:
+    def prepare():
+        pool = SlotPool(num_disks=8, stride=1)
+
+        def thunk():
+            for z in range(8):
+                pool.claim(z, "x")
+            total = pool.free_half_total
+            pool.release_all("x")
+            return {"total": total, "free": pool.free_half_total}
+
+        return thunk
+
+    return BenchCase(name=name, prepare=prepare, params={"num_disks": 8})
+
+
+class TestRunSuite:
+    def test_document_shape(self):
+        doc = run_suite("unit", [_counting_case()], warmup=0, repeats=2)
+        validate_document(doc)  # must not raise
+        assert doc["schema"] == SCHEMA
+        assert doc["suite"] == "unit"
+        assert doc["repeats"] == 2
+        (row,) = doc["cases"]
+        assert row["name"] == "count"
+        assert row["byte_identical"] is True
+        assert row["speedup"] > 0
+        assert len(row["indexed"]["times_s"]) == 2
+        assert row["indexed"]["digest"] == row["legacy"]["digest"]
+
+    def test_document_is_json_round_trippable(self):
+        doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
+        validate_document(json.loads(json.dumps(doc)))
+
+    def test_both_modes_actually_run(self):
+        seen = []
+        original = virtual_disks.occupancy_index_enabled
+
+        def prepare():
+            seen.append(virtual_disks.occupancy_index_enabled())
+            return lambda: {"ok": 1}
+
+        run_suite(
+            "unit",
+            [BenchCase(name="modes", prepare=prepare)],
+            warmup=0,
+            repeats=1,
+        )
+        assert seen == [True, False]
+        # The patch must not leak out of the harness.
+        assert virtual_disks.occupancy_index_enabled is original
+
+    def test_nondeterminism_is_an_error(self):
+        counter = [0]
+
+        def prepare():
+            def thunk():
+                counter[0] += 1
+                return {"n": counter[0]}
+
+            return thunk
+
+        with pytest.raises(BenchError, match="nondeterministic"):
+            run_suite(
+                "unit",
+                [BenchCase(name="drift", prepare=prepare)],
+                warmup=0,
+                repeats=2,
+            )
+
+    def test_mode_divergence_is_an_error(self):
+        def prepare():
+            mode = virtual_disks.occupancy_index_enabled()
+            return lambda: {"mode": mode}
+
+        with pytest.raises(BenchError, match="diverged"):
+            run_suite(
+                "unit",
+                [BenchCase(name="diverge", prepare=prepare)],
+                warmup=0,
+                repeats=1,
+            )
+
+    def test_format_report_lists_every_case(self):
+        doc = run_suite(
+            "unit",
+            [_counting_case("a"), _counting_case("b")],
+            warmup=0,
+            repeats=1,
+        )
+        report = format_report(doc)
+        assert "a" in report and "b" in report and "speedup" in report
+
+
+class TestValidateDocument:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(BenchError, match="schema"):
+            validate_document({"schema": "bogus/9", "cases": [{}]})
+
+    def test_rejects_missing_cases(self):
+        with pytest.raises(BenchError, match="no cases"):
+            validate_document({"schema": SCHEMA, "cases": []})
+
+    def test_rejects_non_identical_outputs(self):
+        doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
+        doc["cases"][0]["byte_identical"] = False
+        with pytest.raises(BenchError, match="non-identical"):
+            validate_document(doc)
+
+    def test_reexport_is_the_same_function(self):
+        assert _vd is validate_document
+
+
+class TestCheckRegression:
+    def _doc(self, speedup):
+        doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
+        doc["cases"][0]["speedup"] = speedup
+        return doc
+
+    def test_no_failure_within_tolerance(self):
+        assert check_regression(self._doc(1.6), self._doc(2.0)) == []
+
+    def test_failure_beyond_tolerance(self):
+        failures = check_regression(self._doc(1.0), self._doc(2.0))
+        assert len(failures) == 1
+        assert "1.00x" in failures[0]
+
+    def test_unknown_baseline_case_is_ignored(self):
+        current = self._doc(1.0)
+        baseline = self._doc(2.0)
+        baseline["cases"][0]["name"] = "something-else"
+        assert check_regression(current, baseline) == []
+
+
+class TestSuiteRegistry:
+    def test_known_suites(self):
+        assert SUITES == ("core", "admission", "sweep")
+
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_every_suite_yields_cases(self, suite):
+        cases = suite_cases(suite, quick=True)
+        assert cases
+        for case in cases:
+            assert case.name and callable(case.prepare)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ReproError, match="unknown bench suite"):
+            suite_cases("nope")
+
+
+class TestSeededRepeatability:
+    def test_quick_admission_suite_is_repeatable(self):
+        """Two fresh runs of a real suite produce identical digests —
+        the underlying workloads are fully seeded."""
+        cases = suite_cases("admission", quick=True)
+        first = run_suite("admission", cases, quick=True, warmup=0, repeats=1)
+        second = run_suite(
+            "admission",
+            suite_cases("admission", quick=True),
+            quick=True,
+            warmup=0,
+            repeats=1,
+        )
+        for a, b in zip(first["cases"], second["cases"]):
+            assert a["name"] == b["name"]
+            assert a["indexed"]["digest"] == b["indexed"]["digest"]
+            assert a["legacy"]["digest"] == b["legacy"]["digest"]

@@ -1,0 +1,181 @@
+"""Property tests for the incremental occupancy indexes.
+
+The indexes (:class:`repro.core.virtual_disks.SlotPool`'s free-half
+array, capacity buckets and free-half total; :class:`DiskArray`'s
+claimed/failed running counts) are pure acceleration: after *any*
+sequence of claims, releases, failures and repairs they must answer
+every query exactly as a brute-force rescan of the ownership maps
+would.  Hypothesis drives random operation sequences against both and
+checks equivalence after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.virtual_disks import HALVES_PER_SLOT, SlotPool
+from repro.errors import FaultError, SchedulingError
+from repro.hardware.disk import TABLE3_DISK
+from repro.hardware.disk_array import SLOTS_PER_DISK, DiskArray
+from repro.sim.sanitize import Sanitizer
+
+# One operation: (kind, slot/disk selector, owner selector, halves).
+# Selectors are reduced modulo the current domain inside the test so
+# shrinking stays effective.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["claim", "release", "release_all", "fail", "repair"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=HALVES_PER_SLOT),
+    ),
+    max_size=60,
+)
+
+
+def pool_brute_force_free(pool: SlotPool) -> list:
+    return [
+        HALVES_PER_SLOT - sum(pool._owners.get(z, {}).values())
+        for z in range(pool.num_disks)
+    ]
+
+
+def assert_pool_index_consistent(pool: SlotPool) -> None:
+    free = pool_brute_force_free(pool)
+    assert pool._free == free
+    assert pool._free_half_total == sum(free)
+    buckets = [0] * (HALVES_PER_SLOT + 1)
+    for h in free:
+        buckets[h] += 1
+    assert pool._buckets == buckets
+    for halves in range(HALVES_PER_SLOT + 1):
+        assert pool.slots_with_headroom(halves) == sum(
+            1 for h in free if h >= halves
+        )
+
+
+@given(st.integers(min_value=1, max_value=12), ops)
+@settings(max_examples=120, deadline=None)
+def test_slot_pool_index_matches_brute_force(num_disks, operations):
+    """Indexed and legacy pools see identical operations and must agree
+    on every query; the index must match a rescan after every step."""
+    indexed = SlotPool(num_disks=num_disks, stride=1, indexed=True)
+    legacy = SlotPool(num_disks=num_disks, stride=1, indexed=False)
+    for kind, slot, owner, halves in operations:
+        slot %= num_disks
+        if kind in ("fail", "repair"):
+            continue  # DiskArray-only operations
+        outcomes = []
+        for pool in (indexed, legacy):
+            try:
+                if kind == "claim":
+                    pool.claim(slot, owner, halves=halves)
+                    outcomes.append("ok")
+                elif kind == "release":
+                    outcomes.append(pool.release(slot, owner))
+                else:
+                    outcomes.append(pool.release_all(owner))
+            except SchedulingError:
+                outcomes.append("error")
+        assert outcomes[0] == outcomes[1]
+        assert_pool_index_consistent(indexed)
+        for z in range(num_disks):
+            assert indexed.free_halves(z) == legacy.free_halves(z)
+            assert indexed.claimed_halves(z) == legacy.claimed_halves(z)
+        assert indexed.free_half_total == legacy.free_half_total
+        assert indexed.has_free_halves == legacy.has_free_halves
+        assert indexed.free_count == legacy.free_count
+        assert indexed.free_slots() == legacy.free_slots()
+        for halves in range(1, HALVES_PER_SLOT + 1):
+            assert indexed.slots_with_headroom(halves) == (
+                legacy.slots_with_headroom(halves)
+            )
+
+
+@given(st.integers(min_value=1, max_value=10), ops)
+@settings(max_examples=120, deadline=None)
+def test_disk_array_counts_match_brute_force(num_disks, operations):
+    """The array's running claim/failure counts must match a rescan
+    after arbitrary claim/release/fail/repair (rebuild) sequences."""
+    array = DiskArray(model=TABLE3_DISK, num_disks=num_disks)
+    interval = 0
+    for kind, disk, owner, slots in operations:
+        disk %= num_disks
+        try:
+            if kind == "claim":
+                array.claim(disk, owner, slots=slots)
+            elif kind == "release":
+                array.release(disk, owner)
+            elif kind == "fail":
+                array.fail(disk)
+            elif kind == "repair":
+                array.repair(disk)
+            else:  # "release_all" doubles as an interval boundary here
+                array.begin_interval()
+                interval += 1
+        except (SchedulingError, FaultError):
+            pass
+        claimed = sum(state.claimed_slots for state in array.disks)
+        failed = [state.index for state in array.disks if state.failed]
+        assert array._claimed_this_interval == claimed
+        assert array.failed_count == len(failed)
+        assert array.has_failures == bool(failed)
+        assert array.failed_disks() == failed
+        assert array.free_half_total == (
+            (array.num_disks - len(failed)) * SLOTS_PER_DISK - claimed
+        )
+
+
+@given(st.integers(min_value=1, max_value=12), ops)
+@settings(max_examples=60, deadline=None)
+def test_sanitize_sweep_is_clean_after_any_sequence(num_disks, operations):
+    """The sanitizer's occ_index cross-check never fires on states
+    reached through the public API, and the clean-skip memo never
+    suppresses a sweep of changed state."""
+    pool = SlotPool(num_disks=num_disks, stride=1, indexed=True)
+    sanitizer = Sanitizer(mode="check")
+    for kind, slot, owner, halves in operations:
+        slot %= num_disks
+        if kind in ("fail", "repair"):
+            continue
+        try:
+            if kind == "claim":
+                pool.claim(slot, owner, halves=halves)
+            elif kind == "release":
+                pool.release(slot, owner)
+            else:
+                pool.release_all(owner)
+        except SchedulingError:
+            pass
+        pool.verify_invariants(sanitizer, interval=0)
+        assert sanitizer.total == 0
+        # The memo is pinned to the current version: any mutation bumps
+        # the version, so the next sweep after a change always runs.
+        assert pool._verified_clean_version == pool.version
+
+
+def test_clean_skip_memo_does_not_mask_corruption():
+    """Direct corruption after a clean sweep is still caught on the
+    next sweep once the pool changes (version bump) — and an unclean
+    sweep never arms the memo."""
+    pool = SlotPool(num_disks=4, stride=1, indexed=True)
+    sanitizer = Sanitizer(mode="check")
+    pool.claim(0, "a")
+    pool.verify_invariants(sanitizer, interval=0)
+    assert sanitizer.total == 0
+    # Corrupt the index behind the pool's back; the memoed sweep skips
+    # (version unchanged — this is exactly the documented trade-off)...
+    pool._free_half_total += 1
+    pool.verify_invariants(sanitizer, interval=1)
+    assert sanitizer.total == 0
+    # ...but the very next legitimate mutation re-arms the sweep.
+    pool.claim(1, "b")
+    pool.verify_invariants(sanitizer, interval=2)
+    assert sanitizer.total > 0
+    assert pool._verified_clean_version is None
+    # And while the state stays dirty, every sweep keeps firing.
+    before = sanitizer.total
+    pool.claim(2, "c")
+    pool.verify_invariants(sanitizer, interval=3)
+    assert sanitizer.total > before

@@ -226,3 +226,84 @@ def test_max_events_bounds_execution(sim):
         sim.schedule(float(i), seen.append, i)
     sim.run(max_events=3)
     assert seen == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Cancellable timers (lazy calendar invalidation)
+# ----------------------------------------------------------------------
+class TestCancellableTimers:
+    def test_cancelled_entry_never_fires(self, sim):
+        seen = []
+        timer = sim.schedule_cancellable(1.0, seen.append, "dead")
+        sim.schedule(2.0, seen.append, "alive")
+        timer.cancel()
+        sim.run()
+        assert seen == ["alive"]
+        assert sim.now == 2.0
+
+    def test_cancel_is_idempotent(self, sim):
+        timer = sim.schedule_cancellable(1.0, lambda _: None)
+        timer.cancel()
+        timer.cancel()
+        assert timer.cancelled
+        sim.run()
+
+    def test_peek_skips_cancelled_front(self, sim):
+        timer = sim.schedule_cancellable(1.0, lambda _: None)
+        sim.schedule(5.0, lambda _: None)
+        timer.cancel()
+        assert sim.peek() == 5.0
+
+    def test_step_returns_false_when_only_tombstones_remain(self, sim):
+        timer = sim.schedule_cancellable(1.0, lambda _: None)
+        timer.cancel()
+        assert sim.step() is False
+        assert sim.now == 0.0
+
+    def test_mass_cancellation_compacts_the_heap(self, sim):
+        seen = []
+        timers = [
+            sim.schedule_cancellable(float(i + 1), seen.append, i)
+            for i in range(300)
+        ]
+        for timer in timers[:299]:
+            timer.cancel()
+        # Compaction kicks in once tombstones dominate; the one live
+        # entry must survive it.
+        assert len(sim._heap) < 300
+        sim.run()
+        assert seen == [299]
+
+    def test_interrupt_during_hold_cancels_the_stale_resume(self, sim):
+        """An interrupted hold must not leave its scheduled resume
+        behind: the stale entry would re-advance the generator at the
+        original wake time."""
+        trace = []
+
+        def proc():
+            try:
+                yield hold(10.0)
+                trace.append(("woke", sim.now))
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+                yield hold(1.0)
+                trace.append(("resumed", sim.now))
+
+        process = sim.spawn(proc())
+        sim.schedule(3.0, lambda _: process.interrupt(), None)
+        sim.run()
+        assert trace == [("interrupted", 3.0), ("resumed", 4.0)]
+        assert sim.now == 4.0  # nothing fired at the stale t=10
+
+    def test_interrupted_hold_timer_handle_is_dropped(self, sim):
+        def proc():
+            try:
+                yield hold(10.0)
+            except Interrupt:
+                pass
+
+        process = sim.spawn(proc())
+        sim.schedule(1.0, lambda _: process.interrupt(), None)
+        sim.run()
+        assert process._hold_timer is None
+        assert not process.alive

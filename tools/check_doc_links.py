@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the documentation
+resolves to a file that exists.
+
+Scans ``docs/*.md``, ``README.md``, and ``DESIGN.md`` for inline
+markdown links ``[text](target)``, skips absolute URLs and pure
+anchors, and resolves each remaining target (anchor stripped)
+relative to the file containing it.  Exits non-zero listing every
+broken link.  Stdlib only — runnable anywhere the repo is checked
+out:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# Excludes images' leading "!" capture implicitly (the target check is
+# identical either way).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files(root: Path):
+    yield root / "README.md"
+    yield root / "DESIGN.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(root)
+                errors.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors = []
+    checked = 0
+    for path in iter_doc_files(root):
+        if not path.exists():
+            errors.append(f"missing expected doc file: {path.relative_to(root)}")
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} file(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"ok: {checked} doc files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
