@@ -29,6 +29,17 @@ machine:
 
 Repeated trials of this estimator agree to a few tenths of a percent
 where naive whole-run ratios swing by ten.
+
+The sweep-scope rows (``sweep-off`` / ``sweep-metrics``) extend the
+same contract to the executor's observability: a journaled sweep at
+``--obs-level metrics`` carries the event bus *and* the obs artifact
+store (per-run capture + content-addressed write,
+docs/sweep_observability.md) and must stay within the same < 5 %
+budget over the identical sweep at ``off`` (which already pays for
+the journal and the bus).  Whole sweeps cannot be interleaved
+interval-by-interval, so the pairing runs both sweeps back to back
+with the leader alternating every trial, keeping the
+least-interfered ratio.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ from pathlib import Path
 from time import perf_counter
 
 from benchmarks.conftest import emit
+from repro.exec import ResultCache, Supervision, canonical_json, execute
+from repro.exec.spec import experiment_spec
 from repro.obs import Observability
 from repro.simulation.config import ScaledConfig
 from repro.simulation.runner import build_engine, run_experiment
@@ -47,6 +60,7 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 
 TRIALS = 4
 TRIM = 0.05  # fraction of the spikiest intervals dropped from each side
+SWEEP_TRIALS = 4
 
 
 def _config():
@@ -136,6 +150,59 @@ def _measure():
     return timings
 
 
+def _sweep_specs():
+    return [
+        experiment_spec(
+            ScaledConfig(
+                scale=10, warmup_intervals=200, measure_intervals=1200
+            ).with_(
+                technique="simple", num_stations=26, access_mean=mean
+            ),
+            label=f"bench-sweep-{mean}",
+        )
+        for mean in (1.0, 1.5, 2.0, 2.5)
+    ]
+
+
+def _sweep_run(level: str, root):
+    """One fresh journaled sweep; returns (seconds, canonical rows)."""
+    obs = Observability(level=level) if level != "off" else None
+    cache = ResultCache(root)
+    supervision = Supervision(handle_signals=False)
+    gc.collect()
+    start = perf_counter()
+    records = execute(
+        _sweep_specs(), cache=cache, obs=obs, supervision=supervision
+    )
+    elapsed = perf_counter() - start
+    return elapsed, canonical_json([r.payload for r in records])
+
+
+def _sweep_measure(tmp_path):
+    """Summed paired (t_off, t_metrics) over alternating-order trials.
+
+    Every run gets a cold cache so both sides simulate every row;
+    ``off`` still journals and feeds the event bus, so the ratio
+    isolates what ``--obs-level metrics`` adds on top: per-run
+    telemetry capture plus the artifact-store writes.  Single sweeps
+    are far too short to ratio individually (frequency scaling swings
+    back-to-back runs by 10 %+), so the trials are *summed*, with the
+    leader alternating every trial so linear drift cancels.
+    """
+    _sweep_run("metrics", tmp_path / "warm")  # warm code paths
+    totals = {"off": 0.0, "metrics": 0.0}
+    rows = {}
+    for trial in range(SWEEP_TRIALS):
+        order = ("off", "metrics") if trial % 2 == 0 else ("metrics", "off")
+        for level in order:
+            seconds, payload_rows = _sweep_run(
+                level, tmp_path / f"trial{trial}-{level}"
+            )
+            totals[level] += seconds
+            rows[level] = payload_rows
+    return (totals["off"], totals["metrics"]), rows
+
+
 def _summaries():
     """Result summaries per level (untimed; must be byte-identical)."""
     out = {}
@@ -148,8 +215,13 @@ def _summaries():
     return out
 
 
-def test_obs_overhead(benchmark):
-    timings = benchmark.pedantic(_measure, rounds=1, iterations=1)
+def test_obs_overhead(benchmark, tmp_path):
+    def measure():
+        return _measure(), _sweep_measure(tmp_path)
+
+    timings, (sweep_best, sweep_rows) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
     summaries = _summaries()
 
     rows = [
@@ -165,15 +237,33 @@ def test_obs_overhead(benchmark):
                 "overhead_pct": round(100.0 * (t_obs / t_off - 1.0), 2),
             }
         )
+    sweep_off, sweep_met = sweep_best
+    rows.append(
+        {"level": "sweep-off", "cpu_seconds": round(sweep_off, 4),
+         "overhead_pct": 0.0}
+    )
+    rows.append(
+        {
+            "level": "sweep-metrics",
+            "cpu_seconds": round(sweep_met, 4),
+            "overhead_pct": round(100.0 * (sweep_met / sweep_off - 1.0), 2),
+        }
+    )
     emit("Telemetry overhead by --obs-level (paired interleaved)", rows)
     RESULT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
 
     # Telemetry must never change what the simulation computes.
     assert summaries["metrics"] == summaries["off"]
     assert summaries["trace"] == summaries["off"]
+    assert sweep_rows["metrics"] == sweep_rows["off"]
     # The headline contract: metrics-level telemetry is cheap.
     t_off, t_met = timings["metrics"]
     assert t_met < t_off * 1.05, (
         f"metrics level costs {100 * (t_met / t_off - 1):.1f}% "
         f"(contract: < 5%)"
+    )
+    # And so is sweep-scope observability (bus + artifact store).
+    assert sweep_met < sweep_off * 1.05, (
+        f"sweep at metrics costs {100 * (sweep_met / sweep_off - 1):.1f}% "
+        f"over off (contract: < 5%)"
     )

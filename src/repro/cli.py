@@ -11,9 +11,15 @@ Commands
 ``bench``         paired hot-path microbenchmarks (occupancy index on
                   vs off; see docs/performance.md)
 ``sweep-status``  summarise the on-disk result cache (``--journal``:
-                  list sweep journals with completed/pending/poisoned)
+                  list sweep journals; ``<sweep_id> --follow``: live
+                  progress from the sweep's event stream; ``--json``:
+                  the same snapshot for scripts)
 ``sweep-resume``  resume an interrupted sweep from its journal
 ``obs-report``    summarise a ``--metrics`` file (or convert a trace)
+``obs-top``       live table of every in-flight sweep's progress
+``obs-diff``      per-metric deltas between two telemetry sources
+                  (obs artifacts, sweeps, ``--metrics`` documents,
+                  ``BENCH_*.json``); nonzero exit on threshold breach
 
 All simulation commands accept ``--scale`` (1 = the paper's full
 parameters) and ``--output FILE.csv|FILE.json`` to export the rows,
@@ -29,13 +35,15 @@ and ``--trace FILE.jsonl`` (see docs/observability.md).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.benchmarks import SUITES
-from repro.errors import ReproError, SweepInterrupted
+from repro.errors import ConfigurationError, ReproError, SweepInterrupted
 from repro.exec import (
     ResultCache,
     Supervision,
@@ -63,6 +71,14 @@ from repro.experiments.figure8 import (
 )
 from repro.experiments.table4 import run_table4, scaled_table4_stations
 from repro.obs import Observability, convert_jsonl_to_chrome
+from repro.obs.events import (
+    EVENTS_SUFFIX,
+    events_path,
+    list_event_streams,
+    load_events,
+    render_progress,
+    replay_events,
+)
 from repro.obs.report import format_report, load_metrics
 from repro.simulation.config import SimulationConfig
 from repro.sim import sanitize
@@ -349,8 +365,88 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _sweep_progress(root, sweep_id: Optional[str]):
+    """Replay one sweep's event stream (exact or unique-prefix id;
+    ``None`` picks the most recently active stream)."""
+    streams = list_event_streams(root)
+    if sweep_id is None:
+        if not streams:
+            raise ConfigurationError(
+                f"no sweep event streams under {root} (sweeps emit them "
+                "whenever they are journaled)"
+            )
+        path = max(streams, key=lambda p: p.stat().st_mtime)
+    else:
+        path = events_path(root, sweep_id)
+        if not path.is_file():
+            matches = [p for p in streams if p.name.startswith(sweep_id)]
+            if not matches:
+                raise ConfigurationError(
+                    f"no sweep event stream matches {sweep_id!r} under "
+                    f"{root} (see `repro sweep-status --journal`)"
+                )
+            if len(matches) > 1:
+                ids = ", ".join(
+                    p.name[: -len(EVENTS_SUFFIX)] for p in matches
+                )
+                raise ConfigurationError(
+                    f"sweep id {sweep_id!r} is ambiguous: matches {ids}"
+                )
+            path = matches[0]
+    progress = replay_events(load_events(path))
+    if not progress.sweep_id:
+        progress.sweep_id = path.name[: -len(EVENTS_SUFFIX)]
+    return progress
+
+
+def _print_frame(text: str, previous: Optional[str]) -> None:
+    """One live-view frame: clear-and-redraw on a TTY, append-only
+    (and deduplicated) when piped."""
+    if sys.stdout.isatty():
+        print("\x1b[2J\x1b[H" + text, flush=True)
+    elif text != previous:
+        print(text, flush=True)
+        print(flush=True)
+
+
+def _follow_sweep(root, sweep_id: Optional[str], interval: float) -> int:
+    """Re-render a sweep's progress until it completes (Ctrl-C stops)."""
+    previous: Optional[str] = None
+    try:
+        while True:
+            try:
+                snapshot = _sweep_progress(root, sweep_id).to_dict()
+            except ConfigurationError:
+                # The sweep may not have started yet (e.g. following a
+                # resume the moment it is launched): keep waiting.
+                _print_frame(
+                    f"waiting for sweep events under {root} ...", previous
+                )
+                previous = None
+                time.sleep(interval)
+                continue
+            text = render_progress(snapshot)
+            _print_frame(text, previous)
+            previous = text
+            if snapshot["status"] in ("complete", "interrupted"):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 130
+
+
 def cmd_sweep_status(args) -> int:
     cache = ResultCache(resolve_cache_dir(args.cache_dir))
+    root = journal_root(cache.root)
+    if args.follow:
+        return _follow_sweep(root, args.sweep_id, args.interval)
+    if args.json_out or args.sweep_id:
+        progress = _sweep_progress(root, args.sweep_id)
+        if args.json_out:
+            print(json.dumps(progress.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_progress(progress.to_dict()))
+        return 0
     if args.journal:
         rows = journal_status_rows(journal_root(cache.root))
         if not rows:
@@ -458,6 +554,78 @@ def cmd_obs_report(args) -> int:
         print("obs-report: nothing to do (pass a metrics file and/or "
               "--trace/--chrome)", file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_obs_top(args) -> int:
+    """Live table of every sweep's progress (in-flight by default)."""
+    root = journal_root(resolve_cache_dir(args.cache_dir))
+    previous: Optional[str] = None
+    try:
+        while True:
+            blocks: List[str] = []
+            for path in list_event_streams(root):
+                progress = replay_events(load_events(path))
+                if not progress.sweep_id:
+                    progress.sweep_id = path.name[: -len(EVENTS_SUFFIX)]
+                snapshot = progress.to_dict()
+                if args.all or snapshot["status"] == "in-flight":
+                    blocks.append(render_progress(snapshot))
+            if blocks:
+                body = "\n\n".join(blocks)
+            elif args.all:
+                body = f"no sweep event streams under {root}"
+            else:
+                body = (
+                    f"no in-flight sweeps under {root} "
+                    "(--all shows finished ones)"
+                )
+            _print_frame(body, previous)
+            previous = body
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+def cmd_obs_diff(args) -> int:
+    """Per-metric deltas between two telemetry sources; exit 3 on a
+    threshold breach (the CI contract, mirroring ``bench --baseline``)."""
+    from repro.obs.aggregate import (
+        diff_metrics,
+        load_metrics_source,
+        render_diff,
+    )
+
+    root = resolve_cache_dir(args.cache_dir)
+    root_b = (
+        resolve_cache_dir(args.cache_dir_b)
+        if args.cache_dir_b is not None
+        else root
+    )
+    side_a = load_metrics_source(
+        args.a, cache_root=root, include_profile=args.include_profile
+    )
+    side_b = load_metrics_source(
+        args.b, cache_root=root_b, include_profile=args.include_profile
+    )
+    diff = diff_metrics(
+        side_a,
+        side_b,
+        threshold=args.threshold,
+        min_abs=args.min_abs,
+        only=args.only,
+        direction=args.direction,
+    )
+    print(render_diff(diff, fmt=args.format, all_rows=args.all))
+    if diff["breaches"]:
+        print(
+            f"obs-diff: {diff['breaches']} metric(s) beyond threshold "
+            f"{args.threshold:g}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -578,12 +746,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_status = sub.add_parser(
         "sweep-status",
-        help="summarise the on-disk result cache",
+        help="summarise the result cache, or follow a sweep live",
         epilog="The result cache and sweep journals are documented in "
                "docs/parallel_execution.md (cache layout, content "
                "addressing) and docs/resilient_execution.md (journals, "
-               "poisoned rows, sweep-resume).",
+               "poisoned rows, sweep-resume); the progress event stream "
+               "behind --follow/--json is in docs/sweep_observability.md.",
     )
+    p_status.add_argument("sweep_id", nargs="?", default=None,
+                          help="sweep id (or unique prefix) to report "
+                               "progress for (from `--journal`; omit to "
+                               "pick the most recently active sweep)")
     p_status.add_argument("--cache-dir", default=None, metavar="DIR",
                           help="cache directory (default: $REPRO_CACHE_DIR "
                                "or .repro-cache)")
@@ -592,6 +765,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--journal", action="store_true",
                           help="list sweep journals instead: completed / "
                                "pending / poisoned counts per sweep")
+    p_status.add_argument("--follow", action="store_true",
+                          help="live progress view of the sweep's event "
+                               "stream; re-renders until it completes")
+    p_status.add_argument("--json", dest="json_out", action="store_true",
+                          help="emit the progress snapshot as JSON (schema "
+                               "repro-sweep-progress/1 — the exact document "
+                               "the --follow renderer consumes)")
+    p_status.add_argument("--interval", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="--follow refresh interval (default: 2)")
     p_status.set_defaults(func=cmd_sweep_status)
 
     p_resume = sub.add_parser(
@@ -624,6 +807,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--chrome", default=None, metavar="FILE",
                        help="write a chrome://tracing JSON file from --trace")
     p_obs.set_defaults(func=cmd_obs_report)
+
+    p_top = sub.add_parser(
+        "obs-top",
+        help="live table of every in-flight sweep's progress",
+        epilog="Each journaled sweep appends progress events to "
+               "<sweep_id>.events.jsonl beside its journal; obs-top "
+               "replays every stream and re-renders, like top(1) for "
+               "sweeps.  The event schema is in "
+               "docs/sweep_observability.md.",
+    )
+    p_top.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory whose journals to watch "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh interval (default: 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (for scripts)")
+    p_top.add_argument("--all", action="store_true",
+                       help="include completed/interrupted sweeps, not "
+                            "just in-flight ones")
+    p_top.set_defaults(func=cmd_obs_top)
+
+    p_diff = sub.add_parser(
+        "obs-diff",
+        help="per-metric deltas between two telemetry sources",
+        epilog="A and B may each be an obs artifact "
+               "(objects/<digest>.obs.json), a --metrics document, a "
+               "bench document (BENCH_*.json), any JSON list of rows, or "
+               "a sweep id resolved through the journal and obs artifact "
+               "store beside --cache-dir (B uses --cache-dir-b when "
+               "given).  Exit 3 when any delta breaches the threshold — "
+               "the CI regression contract.  Flattening rules and "
+               "threshold semantics are in docs/sweep_observability.md.",
+    )
+    p_diff.add_argument("a", help="baseline source (file or sweep id)")
+    p_diff.add_argument("b", help="comparison source (file or sweep id)")
+    p_diff.add_argument("--format", default="table",
+                        choices=["table", "json", "markdown"],
+                        help="output format (default: table)")
+    p_diff.add_argument("--threshold", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="allowed relative delta per metric; 0 means "
+                             "any difference breaches (default: 0)")
+    p_diff.add_argument("--min-abs", type=float, default=0.0,
+                        metavar="VALUE",
+                        help="ignore deltas smaller than this absolute "
+                             "value (default: 0)")
+    p_diff.add_argument("--only", default=None, metavar="GLOB",
+                        help="restrict compared keys to an fnmatch "
+                             "pattern, e.g. 'bench.*.speedup'")
+    p_diff.add_argument("--direction", default="both",
+                        choices=["both", "increase", "decrease"],
+                        help="which delta sign can breach (default: both; "
+                             "'decrease' gates speedup regressions without "
+                             "failing on improvements)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="list unchanged metrics too (table/markdown)")
+    p_diff.add_argument("--include-profile", action="store_true",
+                        help="include wall-clock profile phases "
+                             "(excluded by default: pure noise between "
+                             "byte-identical sweeps)")
+    p_diff.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache whose journals/artifacts resolve "
+                             "sweep-id sources (default: $REPRO_CACHE_DIR "
+                             "or .repro-cache)")
+    p_diff.add_argument("--cache-dir-b", default=None, metavar="DIR",
+                        help="separate cache for source B (diff the same "
+                             "sweep id across two caches)")
+    p_diff.set_defaults(func=cmd_obs_diff)
 
     return parser
 

@@ -61,6 +61,8 @@ from repro.exec.supervisor import (
     Supervision,
     attempt_serial,
 )
+from repro.obs.events import EVENTS_VERSION, SweepEventBus
+from repro.obs.store import ObsArtifactStore
 from repro.simulation.results import SimulationResult
 
 #: Failure summaries embedded in a SweepFailure message (the full
@@ -151,29 +153,34 @@ def _open_journal(
     supervision: Supervision,
     cache: Optional[ResultCache],
     digests: Sequence[str],
-) -> Tuple[Optional[SweepJournal], Optional[JournalState]]:
-    """The sweep's journal (and any prior state), or ``(None, None)``.
+) -> Tuple[
+    Optional[SweepJournal], Optional[JournalState], Optional[SweepEventBus]
+]:
+    """The sweep's journal (plus prior state and its progress event
+    bus), or ``(None, None, None)``.
 
     Journaling defaults to on exactly when a cache is present: the
     journal lives beside it, and ``--no-cache`` runs are explicitly
     ephemeral.  ``supervision.journal``/``journal_dir`` override both
-    halves of that default.
+    halves of that default.  The event bus shares the journal
+    directory (``<sweep_id>.events.jsonl``) and the journal's
+    lifetime: every journaled sweep is followable, at any obs level.
     """
     enabled = supervision.journal
     if enabled is None:
         enabled = cache is not None or supervision.journal_dir is not None
     if not enabled:
-        return None, None
+        return None, None, None
     if supervision.journal_dir is not None:
         root = supervision.journal_dir
     elif cache is not None:
         root = journal_root(cache.root)
     else:
-        return None, None
+        return None, None, None
     journal = SweepJournal(root, sweep_id_for(digests))
     prior = load_journal(journal.path)
     journal.begin(supervision.argv, list(digests))
-    return journal, prior
+    return journal, prior, SweepEventBus(root, journal.sweep_id)
 
 
 def execute(
@@ -208,20 +215,63 @@ def execute(
             return exec_obs.profiler.phase(name)
         return contextlib.nullcontext()
 
+    # Obs artifacts ride the result cache: active only for observed,
+    # cached sweeps (single runs keep their original telemetry path).
+    store: Optional[ObsArtifactStore] = None
+    if cache is not None and obs is not None and obs.enabled and len(specs) > 1:
+        store = ObsArtifactStore(cache.root, level=obs.level.value)
+
     records: Dict[int, RunRecord] = {}
+    emitted: set = set()  # digests already announced on the bus
     with phase("plan"):
         digests = [spec_digest(spec) for spec in specs]
-        journal, prior = (
+        journal, prior, bus = (
             _open_journal(supervision, cache, digests)
             if len(specs) > 1
-            else (None, None)
+            else (None, None, None)
         )
         sweep_id = journal.sweep_id if journal is not None else ""
         journal_file = str(journal.path) if journal is not None else ""
+        if bus is not None:
+            bus.emit(
+                "sweep_begin",
+                version=EVENTS_VERSION,
+                sweep_id=sweep_id,
+                total=len(set(digests)),
+                jobs=jobs,
+                obs_level=obs.level.value if obs is not None else "off",
+                argv=list(supervision.argv or []),
+            )
         settled_prior = prior.settled_runs() if prior is not None else {}
         pending: Dict[str, List[int]] = {}
         for index, (spec, digest) in enumerate(zip(specs, digests)):
             stored = cache.get(digest) if cache is not None else None
+            journal_row = settled_prior.get(digest)
+            reusable_journal_row = (
+                journal_row is not None
+                and (store is None or journal_row.get("status") != "ok")
+            )
+            if store is not None and (
+                stored is not None
+                or (journal_row is not None
+                    and journal_row.get("status") == "ok")
+            ):
+                if store.get(digest) is None:
+                    # The result is cached (or journaled ok) but its
+                    # telemetry is not — a pre-store run, or a
+                    # corrupt/torn artifact.  Treat the pair as a miss
+                    # and re-execute: runs are deterministic, so the
+                    # payload cannot change, and the fresh execute
+                    # backfills the artifact.
+                    if bus is not None and digest not in emitted:
+                        emitted.add(digest)
+                        bus.emit("artifact_miss", digest=digest, index=index)
+                    stored = None
+                else:
+                    reusable_journal_row = journal_row is not None
+                    if bus is not None and digest not in emitted:
+                        emitted.add(digest)
+                        bus.emit("artifact_hit", digest=digest, index=index)
             if stored is not None:
                 records[index] = RunRecord(
                     index=index,
@@ -235,8 +285,15 @@ def execute(
                     sweep_id=sweep_id,
                     journal_path=journal_file,
                 )
-            elif digest in settled_prior:
-                row = settled_prior[digest]
+                if bus is not None:
+                    bus.emit(
+                        "cache_hit",
+                        digest=digest,
+                        index=index,
+                        label=spec.describe(),
+                    )
+            elif reusable_journal_row:
+                row = journal_row
                 records[index] = RunRecord(
                     index=index,
                     kind=spec.kind,
@@ -252,6 +309,14 @@ def execute(
                     sweep_id=sweep_id,
                     journal_path=journal_file,
                 )
+                if bus is not None:
+                    bus.emit(
+                        "journal_hit",
+                        digest=digest,
+                        index=index,
+                        status=records[index].status,
+                        poisoned=records[index].poisoned,
+                    )
             else:
                 # Identical specs (same digest) simulate once.
                 pending.setdefault(digest, []).append(index)
@@ -288,6 +353,18 @@ def execute(
                 attempts=outcome.get("attempt", 1),
                 poisoned=outcome.get("poison", False),
             )
+        if bus is not None:
+            bus.emit(
+                "run_settled",
+                index=index,
+                digest=digest,
+                kind=lead.kind,
+                label=lead.describe(),
+                status=outcome["status"],
+                duration_s=outcome["duration_s"],
+                attempts=outcome.get("attempt", 1),
+                poisoned=outcome.get("poison", False),
+            )
 
     retries = 0
     with phase("execute"), GracefulSignals(
@@ -297,11 +374,31 @@ def execute(
             for index, spec in tasks:
                 if signals.triggered is not None:
                     break
-                outcome = attempt_serial(spec, supervision, obs=obs)
+                outcome = attempt_serial(
+                    spec,
+                    supervision,
+                    obs=obs,
+                    store=store,
+                    bus=bus,
+                    index=index,
+                    digest=index_digest[index],
+                )
                 retries += outcome["attempt"] - 1
                 flush(index, outcome)
         elif tasks:
-            pool = SupervisedPool(tasks, jobs, supervision, _pool_context())
+            pool = SupervisedPool(
+                tasks,
+                jobs,
+                supervision,
+                _pool_context(),
+                bus=bus,
+                obs_capture=(
+                    (str(store.root), store.level.value)
+                    if store is not None
+                    else None
+                ),
+                digests=index_digest,
+            )
             for outcome in pool.run():
                 flush(outcome["index"], outcome)
                 if signals.triggered is not None:
@@ -335,6 +432,27 @@ def execute(
                     journal_path=journal_file,
                 )
 
+        # Fold persisted per-run telemetry into the session, in spec
+        # order: warm hits replay their stored artifact, fresh
+        # executes (serial or worker-side) just wrote theirs.  This is
+        # what gives parallel sweeps per-run engine metrics at all —
+        # worker processes share no session with the parent.
+        adopted: set = set()
+        if store is not None:
+            for index in range(len(specs)):
+                record = records.get(index)
+                digest = digests[index]
+                if record is None or not record.ok or digest in adopted:
+                    continue
+                artifact = store.get(digest)
+                if artifact is None:
+                    continue
+                adopted.add(digest)
+                obs.adopt_runs(
+                    artifact.get("runs", []),
+                    store.get_trace(digest) if store.tracing else None,
+                )
+
         if exec_obs is not None:
             registry = exec_obs.registry
             registry.counter("exec.runs").inc(len(specs))
@@ -353,6 +471,8 @@ def execute(
                 sum(1 for record in records.values() if record.poisoned)
             )
             registry.gauge("exec.jobs").set(jobs)
+            if store is not None:
+                registry.counter("exec.obs_artifacts").inc(len(adopted))
             run_seconds = registry.tally("exec.run_seconds")
             for outcome in outcomes.values():
                 run_seconds.record(outcome["duration_s"])
@@ -360,6 +480,11 @@ def execute(
     if interrupted is not None:
         if journal is not None:
             journal.end("interrupted")
+        if bus is not None:
+            bus.emit(
+                "sweep_end", status="interrupted", settled=len(records)
+            )
+            bus.close()
         if exec_obs is not None:
             obs.finish_run(exec_obs)
         done = len(records)
@@ -373,6 +498,9 @@ def execute(
 
     if journal is not None and outcomes:
         journal.end("complete")
+    if bus is not None:
+        bus.emit("sweep_end", status="complete", settled=len(records))
+        bus.close()
     if exec_obs is not None:
         obs.finish_run(exec_obs)
     return [records[index] for index in range(len(specs))]

@@ -252,6 +252,8 @@ def list_journals(root: PathLike) -> List[JournalState]:
         return []
     states = []
     for path in sorted(root.glob("*.jsonl")):
+        if path.name.endswith(".events.jsonl"):
+            continue  # a sweep's progress event stream, not a journal
         state = load_journal(path)
         if state is not None:
             states.append(state)

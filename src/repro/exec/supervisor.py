@@ -151,12 +151,20 @@ def _supervised_worker(
     results,
     heartbeat_path: str,
     heartbeat_interval: float,
+    obs_capture: Optional[Tuple[str, str]] = None,
 ) -> None:
     """Worker main loop (module-level: must be picklable for spawn).
 
     SIGINT is ignored so a terminal Ctrl-C (delivered to the whole
     process group) interrupts only the parent, which then drains the
     in-flight runs gracefully.
+
+    ``obs_capture`` is ``(store_root, level)`` when the sweep persists
+    obs artifacts: the worker runs each spec under a fresh single-run
+    telemetry session and writes the artifact into the shared
+    content-addressed store itself (writes are atomic, so concurrent
+    workers cannot tear an entry).  The telemetry contract guarantees
+    the observed payload is byte-identical to an unobserved one.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -174,6 +182,11 @@ def _supervised_worker(
     threading.Thread(
         target=_beat, name=f"heartbeat-{worker_id}", daemon=True
     ).start()
+    store = None
+    if obs_capture is not None:
+        from repro.obs.store import ObsArtifactStore
+
+        store = ObsArtifactStore(obs_capture[0], level=obs_capture[1])
     while True:
         task = mailbox.get()
         if task is None:
@@ -182,7 +195,7 @@ def _supervised_worker(
         state["task"] = index
         start = time.perf_counter()
         try:
-            payload = run_spec(spec)
+            payload = _run_captured(spec, store)
             outcome = {
                 "index": index,
                 "status": "ok",
@@ -205,6 +218,24 @@ def _supervised_worker(
         state["task"] = None
         results.put(outcome)
     stop_beating.set()
+
+
+def _run_captured(spec: RunSpec, store, obs=None) -> Dict[str, Any]:
+    """Run one spec, persisting its obs artifact when a store is given.
+
+    With a store, the run executes under its own telemetry session via
+    :func:`repro.obs.store.capture_run` and the snapshot/trace land in
+    the store under the spec's digest; without one, this is a plain
+    :func:`run_spec` (threading ``obs`` through, for the serial path).
+    """
+    if store is None:
+        return run_spec(spec, obs=obs)
+    from repro.exec.spec import spec_digest
+    from repro.obs.store import capture_run
+
+    payload, runs, trace_events = capture_run(spec, store.level.value)
+    store.put(spec_digest(spec), runs, trace_events)
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -258,9 +289,16 @@ class SupervisedPool:
         jobs: int,
         options: Supervision,
         context,
+        bus=None,
+        obs_capture: Optional[Tuple[str, str]] = None,
+        digests: Optional[Dict[int, str]] = None,
     ) -> None:
         self.options = options
         self.context = context
+        self.bus = bus
+        self.obs_capture = obs_capture
+        self.digests = digests or {}
+        self._last_heartbeat = 0.0
         self.pending: List[_PendingTask] = [
             _PendingTask(index=index, spec=spec) for index, spec in tasks
         ]
@@ -280,6 +318,11 @@ class SupervisedPool:
             self._own_heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
             self.heartbeat_dir = Path(self._own_heartbeat_dir)
 
+    def _emit(self, event: str, **fields) -> None:
+        """Forward one progress event to the sweep bus (if any)."""
+        if self.bus is not None:
+            self.bus.emit(event, **fields)
+
     # -- lifecycle -----------------------------------------------------
     def _spawn_worker(self) -> _WorkerHandle:
         worker_id = self._next_worker_id
@@ -294,6 +337,7 @@ class SupervisedPool:
                 self.results,
                 str(heartbeat_path),
                 self.options.heartbeat_interval,
+                self.obs_capture,
             ),
             name=f"repro-worker-{worker_id}",
             daemon=True,
@@ -301,6 +345,7 @@ class SupervisedPool:
         process.start()
         handle = _WorkerHandle(worker_id, process, mailbox, heartbeat_path)
         self.workers.append(handle)
+        self._emit("worker_spawned", worker=worker_id, pid=process.pid)
         return handle
 
     def request_stop(self) -> None:
@@ -331,6 +376,14 @@ class SupervisedPool:
             worker.task = task
             worker.dispatched_at = now
             worker.mailbox.put((task.index, task.spec, task.attempt))
+            self._emit(
+                "run_leased",
+                index=task.index,
+                digest=self.digests.get(task.index),
+                label=task.spec.describe(),
+                worker=worker.worker_id,
+                attempt=task.attempt,
+            )
 
     def _settle(self, outcome: Dict[str, Any]) -> Dict[str, Any]:
         self.settled[outcome["index"]] = outcome
@@ -346,6 +399,15 @@ class SupervisedPool:
         if task.attempt < self.options.max_attempts and not self.stop_requested:
             self.retries += 1
             delay = self.options.backoff_delay(task.attempt)
+            error = outcome.get("error") or ""
+            self._emit(
+                "run_retried",
+                index=task.index,
+                digest=self.digests.get(task.index),
+                attempt=task.attempt,
+                delay_s=round(delay, 3),
+                reason=error.strip().rsplit("\n", 1)[-1][:200],
+            )
             self.pending.append(
                 _PendingTask(
                     index=task.index,
@@ -379,6 +441,12 @@ class SupervisedPool:
         """Kill/cull a misbehaving worker; retry or settle its task."""
         task = worker.task
         worker.task = None
+        self._emit(
+            "worker_died",
+            worker=worker.worker_id,
+            reason=reason,
+            index=task.index if task is not None else None,
+        )
         if worker.process.is_alive():
             worker.process.terminate()
             worker.process.join(timeout=2.0)
@@ -476,8 +544,30 @@ class SupervisedPool:
                         yield settled
                 for settled in self._check_health():
                     yield settled
+                self._emit_heartbeat()
         finally:
             self._shutdown()
+
+    def _emit_heartbeat(self) -> None:
+        """Emit an aggregate progress heartbeat at most once a second."""
+        if self.bus is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < 1.0:
+            return
+        self._last_heartbeat = now
+        self._emit(
+            "heartbeat",
+            settled=len(self.settled),
+            total=self.total,
+            retries=self.retries,
+            workers={
+                str(w.worker_id): (
+                    w.task.index if w.task is not None else None
+                )
+                for w in self.workers
+            },
+        )
 
     def _shutdown(self) -> None:
         for worker in self.workers:
@@ -509,17 +599,39 @@ class SupervisedPool:
 # Serial supervision (jobs == 1)
 # ----------------------------------------------------------------------
 def attempt_serial(
-    spec: RunSpec, options: Supervision, obs=None
+    spec: RunSpec,
+    options: Supervision,
+    obs=None,
+    store=None,
+    bus=None,
+    index: Optional[int] = None,
+    digest: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The in-process analogue of one supervised task: same retry and
     poison semantics, no preemption (a hung run hangs; use workers for
-    timeout enforcement)."""
+    timeout enforcement).
+
+    With an obs artifact ``store``, the run is captured under its own
+    telemetry session (and ``obs`` is ignored for the run itself — the
+    executor adopts the stored artifact into the session afterwards,
+    so snapshots are never taken twice).  ``bus``/``index``/``digest``
+    add progress events for the serial path.
+    """
     attempt = 0
     while True:
         attempt += 1
         start = time.perf_counter()
+        if bus is not None:
+            bus.emit(
+                "run_leased",
+                index=index,
+                digest=digest,
+                label=spec.describe(),
+                worker=None,
+                attempt=attempt,
+            )
         try:
-            payload = run_spec(spec, obs=obs)
+            payload = _run_captured(spec, store, obs=obs)
             return {
                 "status": "ok",
                 "payload": payload,
@@ -539,7 +651,17 @@ def attempt_serial(
                     "duration_s": time.perf_counter() - start,
                     "attempt": attempt,
                 }
-            time.sleep(options.backoff_delay(attempt))
+            delay = options.backoff_delay(attempt)
+            if bus is not None:
+                bus.emit(
+                    "run_retried",
+                    index=index,
+                    digest=digest,
+                    attempt=attempt,
+                    delay_s=round(delay, 3),
+                    reason=f"{type(error).__name__}: {error}"[:200],
+                )
+            time.sleep(delay)
 
 
 # ----------------------------------------------------------------------

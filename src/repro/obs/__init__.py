@@ -223,6 +223,35 @@ class Observability:
             result.profile = run.profiler.totals()
             result.observation = snapshot
 
+    def adopt_runs(
+        self,
+        runs: List[Dict[str, Any]],
+        trace_events: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        """Fold externally captured run snapshots into this session.
+
+        Used by the executor to merge telemetry captured elsewhere —
+        in a worker process, or reloaded from the obs artifact store
+        on a warm cache hit — so the session's metrics document and
+        trace stream cover every run regardless of where (or when) it
+        actually executed.  Snapshots are re-indexed into this
+        session's run numbering; trace events are forwarded to the
+        session sink when tracing.
+        """
+        if not self.enabled:
+            return
+        for snapshot in runs:
+            adopted = dict(snapshot)
+            adopted["index"] = self._run_count
+            self._run_count += 1
+            self.runs.append(adopted)
+        if self.tracer is not None and trace_events:
+            for record in trace_events:
+                try:
+                    self.tracer.sink.write(TraceEvent.from_json(record))
+                except (KeyError, ValueError, TypeError):
+                    continue
+
     # ------------------------------------------------------------------
     # Session output
     # ------------------------------------------------------------------
@@ -255,7 +284,26 @@ class Observability:
         return written
 
 
+from repro.obs.events import (  # noqa: E402 — re-export
+    PROGRESS_SCHEMA,
+    SweepEventBus,
+    SweepProgress,
+    events_path,
+    list_event_streams,
+    load_events,
+    load_progress,
+    render_progress,
+    replay_events,
+    settled_events_digest,
+)
+from repro.obs.store import (  # noqa: E402 — re-export
+    ARTIFACT_SCHEMA,
+    ObsArtifactStore,
+    capture_run,
+)
+
 __all__ = [
+    "ARTIFACT_SCHEMA",
     "BoundedLog",
     "Counter",
     "Gauge",
@@ -263,19 +311,31 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
+    "ObsArtifactStore",
     "ObsLevel",
     "Observability",
+    "PROGRESS_SCHEMA",
     "PhaseProfiler",
     "RunObservation",
+    "SweepEventBus",
+    "SweepProgress",
     "Tally",
     "TimeSeries",
     "TimeWeighted",
     "TraceEvent",
     "Tracer",
     "UtilizationMatrix",
+    "capture_run",
     "chrome_trace_events",
     "convert_jsonl_to_chrome",
+    "events_path",
+    "list_event_streams",
+    "load_events",
+    "load_progress",
     "read_jsonl",
+    "render_progress",
+    "replay_events",
+    "settled_events_digest",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,523 @@
+"""Sweep-scope progress events: the live observability bus.
+
+While the per-run telemetry of :mod:`repro.obs` answers "what did one
+simulation do", a week-long parameter study needs the *sweep* itself
+to be observable: which rows are done, which worker holds which run,
+how often retries fire, and when the grid will finish.  The
+:class:`SweepEventBus` gives every journaled sweep an **append-only
+``<sweep_id>.events.jsonl``** file beside its journal, onto which the
+executor and the supervised pool emit structured progress events as
+they happen:
+
+===================  ====================================================
+event                emitted when
+===================  ====================================================
+``sweep_begin``      the executor opens the sweep (total, argv, jobs)
+``cache_hit``        a row is served from the result cache at plan time
+``journal_hit``      a row is recovered from a prior journal (resume)
+``artifact_hit``     a cached row's obs artifact was reused
+``artifact_miss``    a cached row lacked its obs artifact (re-executed)
+``worker_spawned``   the pool starts a worker process
+``worker_died``      a worker is reaped (death / timeout / hung)
+``run_leased``       a run is dispatched to a worker (or runs in-process)
+``run_retried``      a transient failure is re-queued with backoff
+``run_settled``      a run reaches its final state (ok / error / poison)
+``heartbeat``        ~1/s while the pool is draining (in-flight counts)
+``sweep_end``        the sweep completes or is gracefully interrupted
+===================  ====================================================
+
+The bus is *advisory*: appends are flushed (so ``tail -f`` and
+``repro sweep-status --follow`` see them immediately and they survive
+a killed process) but not fsynced, emission failures are swallowed,
+and :func:`load_events` tolerates a torn tail exactly like the sweep
+journal — observability must never be able to fail a sweep.
+
+:func:`replay_events` folds an event stream into a
+:class:`SweepProgress` snapshot — the one schema shared by
+``repro sweep-status --json``, the ``--follow`` live renderer, and
+``repro obs-top``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Event-stream format version (bumped on incompatible changes).
+EVENTS_VERSION = 1
+
+#: Filename suffix distinguishing event streams from journals in the
+#: shared journal directory.
+EVENTS_SUFFIX = ".events.jsonl"
+
+
+def events_path(root: PathLike, sweep_id: str) -> Path:
+    """The event-stream file for ``sweep_id`` under journal ``root``."""
+    return Path(root) / f"{sweep_id}{EVENTS_SUFFIX}"
+
+
+class SweepEventBus:
+    """Append-only, flush-per-event writer for one sweep's progress.
+
+    Opens lazily on the first emit and never raises: a full disk or a
+    vanished directory degrades to a silent no-op, because the bus is
+    telemetry, not state — the journal alone remains authoritative.
+    """
+
+    def __init__(self, root: PathLike, sweep_id: str) -> None:
+        self.sweep_id = sweep_id
+        self.path = events_path(root, sweep_id)
+        self._handle = None
+        self._dead = False
+        self.emitted = 0
+
+    def __repr__(self) -> str:
+        return f"<SweepEventBus {self.sweep_id} at {self.path}>"
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event record (never raises)."""
+        if self._dead:
+            return
+        record: Dict[str, Any] = {"event": event, "ts": time.time()}
+        record.update(fields)
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                torn = False
+                if self.path.exists() and self.path.stat().st_size > 0:
+                    # A previous writer may have been killed mid-append;
+                    # start a fresh line so its torn tail cannot swallow
+                    # this session's first event.
+                    with self.path.open("rb") as tail:
+                        tail.seek(-1, 2)
+                        torn = tail.read(1) != b"\n"
+                self._handle = self.path.open("a")
+                if torn:
+                    self._handle.write("\n")
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+            self.emitted += 1
+        except (OSError, ValueError, TypeError):
+            self._dead = True  # advisory stream: stop trying, keep sweeping
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+def load_events(path: PathLike) -> List[Dict[str, Any]]:
+    """All readable events of one stream, in append order.
+
+    Mirrors :func:`repro.exec.journal.load_journal`'s torn-tail
+    tolerance: unparsable lines (a crash mid-append) are skipped and
+    everything before them stands.  A missing file is an empty stream.
+    """
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError:
+        return []
+    events: List[Dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail or scribble — everything before it stands
+        if isinstance(record, dict) and "event" in record:
+            events.append(record)
+    return events
+
+
+def list_event_streams(root: PathLike) -> List[Path]:
+    """Every event-stream file under ``root``, sorted by name."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob(f"*{EVENTS_SUFFIX}"))
+
+
+def settled_events_digest(events: Iterable[Dict[str, Any]]) -> str:
+    """Order-independent digest of a stream's *settled* outcomes.
+
+    Hashes the sorted set of ``(digest, status, poisoned)`` triples
+    from ``run_settled``, ``cache_hit``, and ``journal_hit`` events —
+    the fields that are functions of the work, not of scheduling — so
+    ``jobs=1`` and ``jobs=4`` executions of the same sweep agree even
+    though their events interleave differently.
+    """
+    triples = set()
+    for record in events:
+        kind = record.get("event")
+        if kind == "run_settled":
+            triples.add(
+                (
+                    str(record.get("digest", "")),
+                    str(record.get("status", "")),
+                    bool(record.get("poisoned", False)),
+                )
+            )
+        elif kind == "cache_hit":
+            triples.add((str(record.get("digest", "")), "ok", False))
+        elif kind == "journal_hit":
+            triples.add(
+                (
+                    str(record.get("digest", "")),
+                    str(record.get("status", "ok")),
+                    bool(record.get("poisoned", False)),
+                )
+            )
+    canonical = json.dumps(sorted(triples), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Replay: events -> progress snapshot
+# ----------------------------------------------------------------------
+#: Progress-snapshot schema identifier (``sweep-status --json`` emits
+#: it; the ``--follow`` renderer consumes it).
+PROGRESS_SCHEMA = "repro-sweep-progress/1"
+
+
+@dataclass
+class SweepProgress:
+    """Everything :func:`replay_events` recovers from one stream."""
+
+    sweep_id: str = ""
+    #: "in-flight" | "complete" | "interrupted" | "unknown"
+    status: str = "unknown"
+    total: int = 0
+    jobs: int = 1
+    argv: List[str] = field(default_factory=list)
+    #: digest -> final outcome row for every settled digest.
+    settled: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cache_hits: int = 0
+    resumed: int = 0
+    executed: int = 0
+    failed: int = 0
+    poisoned: int = 0
+    retries: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    workers_spawned: int = 0
+    workers_died: int = 0
+    #: index -> {label, worker, since} for runs currently dispatched.
+    in_flight: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: worker id -> {state, task, last_ts} (state: alive | dead).
+    workers: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    started_at: float = 0.0
+    updated_at: float = 0.0
+    #: Wall-clock timestamps of executed (non-cached) settles, for the
+    #: settled-run rate and the ETA.
+    settle_times: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Digests settled successfully (fresh, cached, or resumed)."""
+        return sum(
+            1 for row in self.settled.values() if row.get("status") == "ok"
+        )
+
+    @property
+    def pending(self) -> int:
+        return max(0, self.total - len(self.settled))
+
+    @property
+    def rate_per_s(self) -> float:
+        """Executed-settle throughput over the observed window."""
+        if len(self.settle_times) < 1 or self.started_at <= 0:
+            return 0.0
+        window = self.settle_times[-1] - self.started_at
+        if window <= 0:
+            return 0.0
+        return len(self.settle_times) / window
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Seconds until done at the current settled-run rate."""
+        if self.pending == 0:
+            return 0.0
+        rate = self.rate_per_s
+        if rate <= 0:
+            return None
+        return self.pending / rate
+
+    @property
+    def age_s(self) -> float:
+        """Seconds since the last event."""
+        if self.updated_at <= 0:
+            return 0.0
+        return max(0.0, time.time() - self.updated_at)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON schema shared by ``--json`` and ``--follow``."""
+        eta = self.eta_s
+        return {
+            "schema": PROGRESS_SCHEMA,
+            "sweep_id": self.sweep_id,
+            "status": self.status,
+            "total": self.total,
+            "completed": self.completed,
+            "settled": len(self.settled),
+            "pending": self.pending,
+            "cache_hits": self.cache_hits,
+            "resumed": self.resumed,
+            "executed": self.executed,
+            "failed": self.failed,
+            "poisoned": self.poisoned,
+            "retries": self.retries,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "jobs": self.jobs,
+            "workers_spawned": self.workers_spawned,
+            "workers_died": self.workers_died,
+            "workers": {
+                str(worker_id): dict(info)
+                for worker_id, info in sorted(self.workers.items())
+            },
+            "in_flight": [
+                {"index": index, **info}
+                for index, info in sorted(self.in_flight.items())
+            ],
+            "rate_per_s": round(self.rate_per_s, 4),
+            "eta_s": None if eta is None else round(eta, 1),
+            "age_s": round(self.age_s, 1),
+            "started_at": self.started_at,
+            "updated_at": self.updated_at,
+            "argv": list(self.argv),
+        }
+
+
+def replay_events(events: Iterable[Dict[str, Any]]) -> SweepProgress:
+    """Fold an event stream into its current :class:`SweepProgress`.
+
+    Tolerates overlap from resumed sweeps (the same stream accumulates
+    every attempt): later events win, settles are keyed by digest, and
+    a fresh ``sweep_begin`` clears the transient in-flight state.
+    """
+    progress = SweepProgress()
+    for record in events:
+        kind = record.get("event")
+        ts = float(record.get("ts", 0.0))
+        if ts:
+            progress.updated_at = max(progress.updated_at, ts)
+        if kind == "sweep_begin":
+            progress.sweep_id = str(record.get("sweep_id", progress.sweep_id))
+            progress.total = int(record.get("total", progress.total))
+            progress.jobs = int(record.get("jobs", progress.jobs))
+            argv = record.get("argv")
+            if argv:
+                progress.argv = [str(part) for part in argv]
+            if not progress.started_at and ts:
+                progress.started_at = ts
+            progress.status = "in-flight"
+            # A resume restarts the transient state; settled digests
+            # and cumulative counters carry over.
+            progress.in_flight.clear()
+            progress.workers.clear()
+        elif kind == "cache_hit":
+            digest = str(record.get("digest", ""))
+            if digest and digest not in progress.settled:
+                progress.cache_hits += 1
+                progress.settled[digest] = {
+                    "status": "ok", "cached": True, "poisoned": False,
+                }
+        elif kind == "journal_hit":
+            digest = str(record.get("digest", ""))
+            if digest and digest not in progress.settled:
+                progress.resumed += 1
+                progress.settled[digest] = {
+                    "status": str(record.get("status", "ok")),
+                    "resumed": True,
+                    "poisoned": bool(record.get("poisoned", False)),
+                }
+        elif kind == "artifact_hit":
+            progress.artifact_hits += 1
+        elif kind == "artifact_miss":
+            progress.artifact_misses += 1
+        elif kind == "worker_spawned":
+            worker = int(record.get("worker", -1))
+            progress.workers_spawned += 1
+            progress.workers[worker] = {
+                "state": "alive", "task": None, "last_ts": ts,
+            }
+        elif kind == "worker_died":
+            worker = int(record.get("worker", -1))
+            progress.workers_died += 1
+            info = progress.workers.setdefault(worker, {})
+            info.update(
+                {"state": "dead", "task": None, "last_ts": ts,
+                 "reason": str(record.get("reason", ""))}
+            )
+        elif kind == "run_leased":
+            index = int(record.get("index", -1))
+            worker = record.get("worker")
+            progress.in_flight[index] = {
+                "label": str(record.get("label", "")),
+                "worker": worker,
+                "attempt": int(record.get("attempt", 1)),
+                "since": ts,
+            }
+            if isinstance(worker, int) and worker in progress.workers:
+                progress.workers[worker].update(
+                    {"task": index, "last_ts": ts}
+                )
+        elif kind == "run_retried":
+            progress.retries += 1
+            index = int(record.get("index", -1))
+            progress.in_flight.pop(index, None)
+        elif kind == "run_settled":
+            index = int(record.get("index", -1))
+            digest = str(record.get("digest", ""))
+            leased = progress.in_flight.pop(index, None)
+            if leased is not None:
+                worker = leased.get("worker")
+                if isinstance(worker, int) and worker in progress.workers:
+                    info = progress.workers[worker]
+                    if info.get("task") == index:
+                        info.update({"task": None, "last_ts": ts})
+            status = str(record.get("status", "error"))
+            poisoned = bool(record.get("poisoned", False))
+            progress.executed += 1
+            if status != "ok":
+                progress.failed += 1
+            if poisoned:
+                progress.poisoned += 1
+            if digest:
+                progress.settled[digest] = {
+                    "status": status,
+                    "poisoned": poisoned,
+                    "attempts": int(record.get("attempts", 1)),
+                    "duration_s": float(record.get("duration_s", 0.0)),
+                }
+            if ts:
+                progress.settle_times.append(ts)
+        elif kind == "heartbeat":
+            for worker_key, task in (record.get("workers") or {}).items():
+                try:
+                    worker = int(worker_key)
+                except (TypeError, ValueError):
+                    continue
+                info = progress.workers.setdefault(
+                    worker, {"state": "alive", "task": None}
+                )
+                info.update({"task": task, "last_ts": ts})
+        elif kind == "sweep_end":
+            progress.status = str(record.get("status", "complete"))
+            progress.in_flight.clear()
+            for info in progress.workers.values():
+                info["task"] = None
+    return progress
+
+
+def load_progress(root: PathLike, sweep_id: str) -> SweepProgress:
+    """Replay the event stream for ``sweep_id`` under journal ``root``."""
+    progress = replay_events(load_events(events_path(root, sweep_id)))
+    if not progress.sweep_id:
+        progress.sweep_id = sweep_id
+    return progress
+
+
+# ----------------------------------------------------------------------
+# Rendering (sweep-status --follow / obs-top)
+# ----------------------------------------------------------------------
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def progress_bar(done: int, total: int, width: int = 30) -> str:
+    """A ``[#####....]`` bar for ``done``/``total``."""
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(round(width * min(1.0, done / total)))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_progress(snapshot: Dict[str, Any]) -> str:
+    """Human-readable live view of one progress snapshot.
+
+    Consumes exactly the :meth:`SweepProgress.to_dict` schema — the
+    same document ``repro sweep-status --json`` prints — so scripts
+    and the renderer can never drift apart.
+    """
+    lines: List[str] = []
+    total = int(snapshot.get("total", 0))
+    settled = int(snapshot.get("settled", 0))
+    status = snapshot.get("status", "unknown")
+    lines.append(
+        f"sweep {snapshot.get('sweep_id', '?')}  [{status}]  "
+        f"{progress_bar(settled, total)} {settled}/{total}"
+    )
+    eta = snapshot.get("eta_s")
+    lines.append(
+        "  completed {completed}  cached {cached}  resumed {resumed}  "
+        "executed {executed}  failed {failed}  poisoned {poisoned}  "
+        "retries {retries}".format(
+            completed=snapshot.get("completed", 0),
+            cached=snapshot.get("cache_hits", 0),
+            resumed=snapshot.get("resumed", 0),
+            executed=snapshot.get("executed", 0),
+            failed=snapshot.get("failed", 0),
+            poisoned=snapshot.get("poisoned", 0),
+            retries=snapshot.get("retries", 0),
+        )
+    )
+    rate = float(snapshot.get("rate_per_s") or 0.0)
+    lines.append(
+        f"  rate {rate:.2f} runs/s  eta {_format_duration(eta)}  "
+        f"last event {_format_duration(snapshot.get('age_s', 0.0))} ago  "
+        f"jobs {snapshot.get('jobs', 1)}"
+    )
+    hits = int(snapshot.get("artifact_hits", 0))
+    misses = int(snapshot.get("artifact_misses", 0))
+    if hits or misses:
+        lines.append(f"  obs artifacts: {hits} reused, {misses} backfilled")
+    workers = snapshot.get("workers") or {}
+    if workers:
+        parts = []
+        for worker_id, info in sorted(
+            workers.items(), key=lambda item: int(item[0])
+        ):
+            state = info.get("state", "?")
+            task = info.get("task")
+            if state != "alive":
+                parts.append(f"w{worker_id}:dead")
+            elif task is None:
+                parts.append(f"w{worker_id}:idle")
+            else:
+                parts.append(f"w{worker_id}:run#{task}")
+        lines.append("  workers: " + "  ".join(parts))
+    in_flight = snapshot.get("in_flight") or []
+    for entry in in_flight[:8]:
+        worker = entry.get("worker")
+        who = "in-process" if worker is None else f"worker {worker}"
+        lines.append(
+            f"  running #{entry.get('index')}: {entry.get('label', '')} "
+            f"({who}, attempt {entry.get('attempt', 1)})"
+        )
+    if len(in_flight) > 8:
+        lines.append(f"  ... and {len(in_flight) - 8} more in flight")
+    argv = snapshot.get("argv") or []
+    if argv:
+        lines.append("  command: repro " + " ".join(argv))
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Integration tests: event bus + obs artifact store through execute().
+
+The sweep-scope observability contract (docs/sweep_observability.md):
+
+* every journaled sweep appends progress events beside its journal;
+* the *set* of settled outcomes is a function of the work, not the
+  scheduling — ``jobs=1`` and ``jobs=4`` agree on the settled digest;
+* with ``--obs-level metrics|trace`` and a cache, per-run telemetry is
+  persisted content-addressed and reused byte-identically on warm
+  hits; a corrupt artifact is a miss and is rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import ResultCache, RunSpec, Supervision, execute
+from repro.exec.hashing import canonical_json
+from repro.exec.journal import journal_root
+from repro.exec.spec import register_kind, spec_digest
+from repro.obs import Observability
+from repro.obs.events import (
+    list_event_streams,
+    load_events,
+    replay_events,
+    settled_events_digest,
+)
+from repro.obs.store import ObsArtifactStore
+
+
+@register_kind("_busy")
+def _busy_kind(spec, obs=None):
+    """Deterministic payload + deterministic telemetry when observed."""
+    value = spec.params["value"]
+    run = obs.begin_run(spec.describe()) if obs is not None else None
+    if run is not None:
+        run.registry.counter("busy.value").inc(value)
+        run.registry.gauge("busy.square").set(value * value)
+        obs.finish_run(run)
+    return {"value": value, "square": value * value}
+
+
+def busy_specs(count):
+    return [
+        RunSpec(kind="_busy", params={"value": n}, label=f"busy-{n}")
+        for n in range(count)
+    ]
+
+
+def quiet(**overrides):
+    options = {"handle_signals": False, "max_attempts": 1}
+    options.update(overrides)
+    return Supervision(**options)
+
+
+def single_stream(cache_root):
+    streams = list_event_streams(journal_root(cache_root))
+    assert len(streams) == 1
+    return streams[0]
+
+
+class TestEventStream:
+    def test_events_beside_journal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        records = execute(busy_specs(3), cache=cache, supervision=quiet())
+        stream = single_stream(tmp_path)
+        assert stream.name == f"{records[0].sweep_id}.events.jsonl"
+        events = load_events(stream)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep_begin"
+        assert kinds[-1] == "sweep_end"
+        assert kinds.count("run_settled") == 3
+        assert kinds.count("run_leased") == 3
+
+    def test_warm_sweep_emits_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute(busy_specs(3), cache=cache, supervision=quiet())
+        execute(busy_specs(3), cache=cache, supervision=quiet())
+        events = load_events(single_stream(tmp_path))
+        assert [e["event"] for e in events].count("cache_hit") == 3
+
+    def test_events_off_without_journal(self, tmp_path):
+        execute(busy_specs(3), supervision=quiet())  # no cache, no journal
+        assert list_event_streams(journal_root(tmp_path)) == []
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_settled_digest_scheduling_independent(self, tmp_path, jobs):
+        """jobs=1 and jobs=4 produce the same *set* of settled events."""
+        cache = ResultCache(tmp_path / f"cache-{jobs}")
+        execute(
+            busy_specs(6), jobs=jobs, cache=cache, supervision=quiet()
+        )
+        events = load_events(single_stream(tmp_path / f"cache-{jobs}"))
+        digest = settled_events_digest(events)
+        reference_cache = ResultCache(tmp_path / "reference")
+        execute(busy_specs(6), jobs=1, cache=reference_cache,
+                supervision=quiet())
+        reference = settled_events_digest(
+            load_events(single_stream(tmp_path / "reference"))
+        )
+        assert digest == reference
+
+    def test_progress_replay_of_finished_sweep(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute(busy_specs(4), jobs=2, cache=cache, supervision=quiet())
+        progress = replay_events(load_events(single_stream(tmp_path)))
+        assert progress.status == "complete"
+        assert progress.total == 4
+        assert progress.completed == 4
+        assert progress.pending == 0
+        assert progress.workers_spawned >= 1
+
+
+class TestArtifactStore:
+    def observed_execute(self, specs, cache, jobs=1, level="metrics"):
+        obs = Observability(level=level)
+        records = execute(
+            specs, jobs=jobs, cache=cache, obs=obs, supervision=quiet()
+        )
+        return records, obs
+
+    def artifact_bytes(self, cache_root, specs):
+        store = ObsArtifactStore(cache_root)
+        return {
+            spec.label: store.artifact_path(spec_digest(spec)).read_bytes()
+            for spec in specs
+        }
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_fresh_sweep_writes_artifacts(self, tmp_path, jobs):
+        specs = busy_specs(3)
+        cache = ResultCache(tmp_path)
+        records, obs = self.observed_execute(specs, cache, jobs=jobs)
+        assert all(record.ok for record in records)
+        store = ObsArtifactStore(tmp_path)
+        assert len(store) == 3
+        for spec in specs:
+            artifact = store.get(spec_digest(spec))
+            runs = artifact["runs"]
+            assert len(runs) == 1
+            value = spec.params["value"]
+            assert runs[0]["metrics"]["busy.value"]["value"] == value
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_session_adopts_runs(self, tmp_path, jobs):
+        """Parallel sweeps now carry per-run engine metrics: worker
+        captures are adopted into the parent session in spec order."""
+        specs = busy_specs(3)
+        _, obs = self.observed_execute(specs, ResultCache(tmp_path), jobs=jobs)
+        labels = [run["label"] for run in obs.runs]
+        assert labels == ["busy-0", "busy-1", "busy-2",
+                          "sweep-exec[3 runs]"]
+        exec_metrics = obs.runs[-1]["metrics"]
+        assert exec_metrics["exec.obs_artifacts"]["value"] == 3
+
+    def test_warm_sweep_reuses_artifacts_byte_identically(self, tmp_path):
+        specs = busy_specs(3)
+        cache = ResultCache(tmp_path)
+        self.observed_execute(specs, cache)
+        before = self.artifact_bytes(tmp_path, specs)
+        records, obs = self.observed_execute(specs, cache)
+        assert all(record.cached for record in records)
+        assert self.artifact_bytes(tmp_path, specs) == before
+        # The warm session still carries every run's telemetry.
+        assert [run["label"] for run in obs.runs][:3] == [
+            "busy-0", "busy-1", "busy-2",
+        ]
+        events = load_events(single_stream(tmp_path))
+        assert [e["event"] for e in events].count("artifact_hit") == 3
+
+    def test_corrupt_artifact_is_miss_and_rewritten(self, tmp_path):
+        """Mirror ResultCache corrupt->miss: the row re-executes (same
+        bytes — runs are deterministic) and the artifact is rebuilt."""
+        specs = busy_specs(3)
+        cache = ResultCache(tmp_path)
+        records, _ = self.observed_execute(specs, cache)
+        reference_rows = [canonical_json(r.payload) for r in records]
+        store = ObsArtifactStore(tmp_path)
+        victim = spec_digest(specs[1])
+        store.artifact_path(victim).write_text("{ torn artifact")
+        records, _ = self.observed_execute(specs, cache)
+        assert [canonical_json(r.payload) for r in records] == reference_rows
+        assert records[0].cached and records[2].cached
+        assert not records[1].cached  # re-executed to backfill telemetry
+        rebuilt = store.get(victim)
+        assert rebuilt is not None
+        assert rebuilt["runs"][0]["metrics"]["busy.value"]["value"] == 1
+        events = load_events(single_stream(tmp_path))
+        assert [e["event"] for e in events].count("artifact_miss") == 1
+
+    def test_unobserved_sweep_writes_no_artifacts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute(busy_specs(3), cache=cache, supervision=quiet())
+        assert len(ObsArtifactStore(tmp_path)) == 0
+
+    def test_trace_artifacts_round_trip(self, tmp_path):
+        specs = busy_specs(2)
+        cache = ResultCache(tmp_path)
+        _, fresh = self.observed_execute(specs, cache, level="trace")
+        fresh_events = [event.to_json() for event in fresh.memory_events()]
+        _, warm = self.observed_execute(specs, cache, level="trace")
+        warm_events = [event.to_json() for event in warm.memory_events()]
+        fresh_names = sorted(
+            json.dumps(e, sort_keys=True) for e in fresh_events
+        )
+        warm_names = sorted(
+            json.dumps(e, sort_keys=True) for e in warm_events
+        )
+        assert warm_names == fresh_names

@@ -84,7 +84,10 @@ class TestJournalResume:
         )
         journal_dir = tmp_path / "journal"
         shutil.copytree(ref_dir, journal_dir)
-        path = next(journal_dir.glob("*.jsonl"))
+        path = next(
+            path for path in journal_dir.glob("*.jsonl")
+            if not path.name.endswith(".events.jsonl")
+        )
         lines = path.read_text().splitlines(keepends=True)
         kept = [
             line for line in lines

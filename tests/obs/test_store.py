@@ -1,0 +1,150 @@
+"""Unit tests for the obs artifact store (repro.obs.store)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.hashing import canonical_json
+from repro.exec.spec import RunSpec, register_kind, run_spec
+from repro.obs.store import ARTIFACT_SCHEMA, ObsArtifactStore, capture_run
+
+DIGEST = "ab" + "0" * 62
+
+
+def sample_runs():
+    return [
+        {
+            "label": "run-a",
+            "index": 0,
+            "profile": {"simulate": 0.5},
+            "metrics": {"disk.reads": {"type": "counter", "value": 7}},
+        }
+    ]
+
+
+@register_kind("_observed")
+def _observed_kind(spec, obs=None):
+    """A kind that records deterministic telemetry when observed."""
+    value = spec.params["value"]
+    run = obs.begin_run(spec.describe()) if obs is not None else None
+    if run is not None:
+        run.registry.counter("observed.value").inc(value)
+        if run.tracer is not None:
+            run.tracer.instant("test", "observed", 0.0, value=value)
+        obs.finish_run(run)
+    return {"value": value, "cube": value**3}
+
+
+class TestStoreRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        assert store.get(DIGEST) is None
+        store.put(DIGEST, sample_runs())
+        artifact = store.get(DIGEST)
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["digest"] == DIGEST
+        assert artifact["runs"] == sample_runs()
+        assert len(store) == 1
+        assert store.misses == 1 and store.hits == 1 and store.writes == 1
+
+    def test_shares_cache_sharding(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        store.put(DIGEST, sample_runs())
+        assert (
+            tmp_path / "objects" / DIGEST[:2] / f"{DIGEST}.obs.json"
+        ).is_file()
+
+    def test_trace_level_round_trip(self, tmp_path):
+        store = ObsArtifactStore(tmp_path, level="trace")
+        trace = [{"t": 0.0, "kind": "test", "name": "x", "ph": "i"}]
+        store.put(DIGEST, sample_runs(), trace)
+        artifact = store.get(DIGEST)
+        assert artifact["level"] == "trace"
+        assert store.get_trace(DIGEST) == trace
+
+
+class TestCorruptIsMiss:
+    """Mirror ResultCache semantics: a corrupt artifact is a miss."""
+
+    def test_corrupt_json(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        store.put(DIGEST, sample_runs())
+        store.artifact_path(DIGEST).write_text("{ torn")
+        assert store.get(DIGEST) is None
+
+    def test_digest_mismatch(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        store.put(DIGEST, sample_runs())
+        path = store.artifact_path(DIGEST)
+        doc = json.loads(path.read_text())
+        doc["digest"] = "f" * 64
+        path.write_text(json.dumps(doc))
+        assert store.get(DIGEST) is None
+
+    def test_wrong_schema(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        store.put(DIGEST, sample_runs())
+        path = store.artifact_path(DIGEST)
+        doc = json.loads(path.read_text())
+        doc["schema"] = "something-else/9"
+        path.write_text(json.dumps(doc))
+        assert store.get(DIGEST) is None
+
+    def test_trace_level_requires_sidecar(self, tmp_path):
+        """An artifact written at metrics level does not satisfy a
+        trace-level reader; neither does a torn trace sidecar."""
+        metrics_store = ObsArtifactStore(tmp_path, level="metrics")
+        metrics_store.put(DIGEST, sample_runs())
+        trace_store = ObsArtifactStore(tmp_path, level="trace")
+        assert trace_store.get(DIGEST) is None
+        trace_store.put(
+            DIGEST, sample_runs(), [{"t": 0.0, "name": "x"}]
+        )
+        assert trace_store.get(DIGEST) is not None
+        with trace_store.trace_path(DIGEST).open("a") as handle:
+            handle.write('{"torn')
+        assert trace_store.get(DIGEST) is None
+
+    def test_rewrite_after_corruption(self, tmp_path):
+        store = ObsArtifactStore(tmp_path)
+        store.put(DIGEST, sample_runs())
+        store.artifact_path(DIGEST).write_text("garbage")
+        assert store.get(DIGEST) is None
+        store.put(DIGEST, sample_runs())
+        assert store.get(DIGEST)["runs"] == sample_runs()
+
+    def test_unwritable_store_never_raises(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a dir")
+        store = ObsArtifactStore(blocker / "sub")
+        store.put(DIGEST, sample_runs())  # must not raise
+        assert store.get(DIGEST) is None
+
+
+class TestCaptureRun:
+    def spec(self, value=3):
+        return RunSpec(kind="_observed", params={"value": value})
+
+    def test_payload_byte_identical_to_unobserved(self):
+        """The PR 1 contract, exercised through capture_run: observing
+        a run cannot change its payload."""
+        payload, runs, trace = capture_run(self.spec(), "metrics")
+        assert canonical_json(payload) == canonical_json(
+            run_spec(self.spec())
+        )
+        assert len(runs) == 1
+        metrics = runs[0]["metrics"]
+        assert metrics["observed.value"]["value"] == 3
+        assert trace == []  # metrics level records no trace
+
+    def test_trace_capture(self):
+        payload, runs, trace = capture_run(self.spec(5), "trace")
+        assert payload["cube"] == 125
+        assert any(event.get("name") == "observed" for event in trace)
+
+    def test_store_integration(self, tmp_path):
+        store = ObsArtifactStore(tmp_path, level="metrics")
+        payload, runs, trace = capture_run(self.spec(), "metrics")
+        store.put("cd" + "0" * 62, runs, trace)
+        artifact = store.get("cd" + "0" * 62)
+        assert artifact["runs"] == runs

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Check that every relative markdown link in the documentation
-resolves to a file that exists.
+"""Check that documentation cross-references resolve.
 
-Scans ``docs/*.md``, ``README.md``, and ``DESIGN.md`` for inline
-markdown links ``[text](target)``, skips absolute URLs and pure
-anchors, and resolves each remaining target (anchor stripped)
-relative to the file containing it.  Exits non-zero listing every
-broken link.  Stdlib only — runnable anywhere the repo is checked
-out:
+Two audits, both stdlib-only and runnable anywhere the repo is
+checked out (``python tools/check_doc_links.py``):
 
-    python tools/check_doc_links.py
+1. **Markdown links.**  Scans ``docs/*.md``, ``README.md``, and
+   ``DESIGN.md`` for inline markdown links ``[text](target)``, skips
+   absolute URLs and pure anchors, and resolves each remaining target
+   (anchor stripped) relative to the file containing it.
+2. **CLI epilogs.**  Parses ``src/repro/cli.py`` and requires every
+   subcommand registered via ``add_parser`` to carry an ``epilog``
+   naming at least one documentation page (``docs/<name>.md`` or
+   ``DESIGN.md``), each of which must exist — so ``repro <cmd>
+   --help`` always points at live documentation and a renamed doc
+   page cannot silently orphan a command's help text.
+
+Exits non-zero listing every broken reference.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -56,6 +63,58 @@ def check_file(path: Path, root: Path) -> list[str]:
     return errors
 
 
+# Documentation pages a CLI epilog may point at.
+DOC_PAGE = re.compile(r"docs/[\w.-]+\.md|DESIGN\.md|README\.md")
+
+
+def check_cli_epilogs(root: Path) -> tuple[int, list[str]]:
+    """Audit ``repro <cmd> --help`` epilogs against the docs tree."""
+    cli = root / "src" / "repro" / "cli.py"
+    rel = cli.relative_to(root)
+    errors: list[str] = []
+    audited = 0
+    for node in ast.walk(ast.parse(cli.read_text(encoding="utf-8"))):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+        ):
+            continue
+        audited += 1
+        command = (
+            node.args[0].value
+            if node.args and isinstance(node.args[0], ast.Constant)
+            else "<dynamic>"
+        )
+        epilog = next(
+            (
+                kw.value.value
+                for kw in node.keywords
+                if kw.arg == "epilog" and isinstance(kw.value, ast.Constant)
+            ),
+            None,
+        )
+        if not epilog:
+            errors.append(
+                f"{rel}:{node.lineno}: subcommand '{command}' has no "
+                f"epilog naming its documentation page"
+            )
+            continue
+        pages = DOC_PAGE.findall(epilog)
+        if not pages:
+            errors.append(
+                f"{rel}:{node.lineno}: subcommand '{command}' epilog "
+                f"names no docs/*.md page"
+            )
+        for page in pages:
+            if not (root / page).exists():
+                errors.append(
+                    f"{rel}:{node.lineno}: subcommand '{command}' epilog "
+                    f"-> missing {page}"
+                )
+    return audited, errors
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     errors = []
@@ -66,12 +125,16 @@ def main() -> int:
             continue
         checked += 1
         errors.extend(check_file(path, root))
+    commands, epilog_errors = check_cli_epilogs(root)
+    errors.extend(epilog_errors)
     if errors:
-        print(f"{len(errors)} broken link(s) across {checked} file(s):")
+        print(f"{len(errors)} broken reference(s) across {checked} doc "
+              f"file(s) and {commands} CLI command(s):")
         for err in errors:
             print(f"  {err}")
         return 1
-    print(f"ok: {checked} doc files, all relative links resolve")
+    print(f"ok: {checked} doc files, all relative links resolve; "
+          f"{commands} CLI epilogs name existing doc pages")
     return 0
 
 
