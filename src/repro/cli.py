@@ -8,6 +8,8 @@ Commands
 ``figure8``       the Figure 8 grid (both techniques, all skews)
 ``table4``        the Table 4 improvement matrix
 ``faults``        availability grid: MTTF sweep × technique × redundancy
+``open-workload`` open-arrival grid: blocking probability and wait
+                  percentiles vs offered load (docs/workloads.md)
 ``bench``         paired hot-path microbenchmarks (occupancy index on
                   vs off; see docs/performance.md)
 ``sweep-status``  summarise the on-disk result cache (``--journal``:
@@ -68,6 +70,13 @@ from repro.experiments.figure8 import (
     run_figure8,
     scaled_means,
     scaled_stations,
+)
+from repro.experiments.open_workload import (
+    DEFAULT_DEADLINE,
+    DEFAULT_UTILISATIONS,
+    DEFAULT_ZIPF_S,
+    open_workload_rows,
+    run_open_workload,
 )
 from repro.experiments.table4 import run_table4, scaled_table4_stations
 from repro.obs import Observability, convert_jsonl_to_chrome
@@ -194,6 +203,47 @@ def _add_workload(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--uniform", action="store_true",
                         help="uniform access over the whole database")
     parser.add_argument("--stride", type=int, default=None)
+    group = parser.add_argument_group(
+        "open workload (docs/workloads.md)"
+    )
+    group.add_argument("--arrival", default=None,
+                       choices=["closed", "poisson", "mmpp"],
+                       help="arrival model (default: closed station loop)")
+    group.add_argument("--rate", type=float, default=None, metavar="PER_S",
+                       help="offered arrival rate, requests/second "
+                            "(poisson)")
+    group.add_argument("--zipf-s", type=float, default=None, metavar="S",
+                       help="Zipf catalog-skew exponent (overrides the "
+                            "geometric access distribution)")
+    group.add_argument("--deadline", type=int, default=None,
+                       metavar="INTERVALS",
+                       help="admission deadline; an open request waiting "
+                            "longer is blocked (default: wait forever)")
+    group.add_argument("--mmpp-rates", type=float, nargs="+", default=None,
+                       metavar="PER_S",
+                       help="per-phase arrival rates, requests/second")
+    group.add_argument("--mmpp-sojourn", type=float, nargs="+", default=None,
+                       metavar="INTERVALS",
+                       help="per-phase mean sojourn times, intervals")
+    group.add_argument("--diurnal-period", type=float, default=None,
+                       metavar="INTERVALS",
+                       help="diurnal rate-curve period, intervals")
+    group.add_argument("--diurnal-amplitude", type=float, default=None,
+                       metavar="FRACTION",
+                       help="diurnal swing in [0, 1] (default: 0 = flat)")
+    group.add_argument("--burst-at", type=int, default=None,
+                       metavar="INTERVAL",
+                       help="flash-crowd start interval")
+    group.add_argument("--burst-duration", type=int, default=None,
+                       metavar="INTERVALS",
+                       help="flash-crowd length (default: 0)")
+    group.add_argument("--burst-factor", type=float, default=None,
+                       metavar="X",
+                       help="rate multiplier inside the burst (default: 1)")
+    group.add_argument("--burst-hotspot", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fraction of burst arrivals aimed at the "
+                            "hottest title (default: 0)")
 
 
 def _fail_at_pair(value: str) -> tuple:
@@ -233,18 +283,34 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
 
 
 def _config(args) -> SimulationConfig:
-    config = base_config(args.scale).with_(seed=args.seed)
+    # Overrides are collected and applied in ONE with_() call:
+    # validation runs on the complete combination, not on partially
+    # assembled ones (e.g. --arrival poisson is only valid together
+    # with its --rate).
+    changes: Dict = {"seed": args.seed}
     if getattr(args, "technique", None):
-        config = config.with_(technique=args.technique)
+        changes["technique"] = args.technique
     if getattr(args, "stride", None) is not None:
-        config = config.with_(stride=args.stride)
+        changes["stride"] = args.stride
     if getattr(args, "stations", None) is not None:
-        config = config.with_(num_stations=args.stations)
+        changes["num_stations"] = args.stations
     if getattr(args, "uniform", False):
-        config = config.with_(access_mean=None)
+        changes["access_mean"] = None
     elif getattr(args, "mean", None) is not None:
-        config = config.with_(access_mean=args.mean)
+        changes["access_mean"] = args.mean
     for flag, field in (
+        ("arrival", "arrival"),
+        ("rate", "arrival_rate"),
+        ("zipf_s", "zipf_s"),
+        ("deadline", "deadline_intervals"),
+        ("mmpp_rates", "mmpp_rates"),
+        ("mmpp_sojourn", "mmpp_sojourn"),
+        ("diurnal_period", "diurnal_period"),
+        ("diurnal_amplitude", "diurnal_amplitude"),
+        ("burst_at", "burst_at"),
+        ("burst_duration", "burst_duration"),
+        ("burst_factor", "burst_factor"),
+        ("burst_hotspot", "burst_hotspot"),
         ("mttf", "mttf"),
         ("mttr", "mttr"),
         ("redundancy", "redundancy"),
@@ -255,8 +321,10 @@ def _config(args) -> SimulationConfig:
     ):
         value = getattr(args, flag, None)
         if value is not None:
-            config = config.with_(**{field: tuple(value) if field == "fail_at" else value})
-    return config
+            if field in ("fail_at", "mmpp_rates", "mmpp_sojourn"):
+                value = tuple(value)
+            changes[field] = value
+    return base_config(args.scale).with_(**changes)
 
 
 def _emit(rows: List[Dict], output: Optional[str]) -> None:
@@ -347,6 +415,24 @@ def cmd_table4(args) -> int:
         supervision=_supervision(args),
     )
     _emit(rows, args.output)
+    _finish_obs(obs)
+    return 0
+
+
+def cmd_open_workload(args) -> int:
+    obs = _observability(args)
+    curves = run_open_workload(
+        scale=args.scale,
+        rates=args.values,
+        utilisations=args.utilisation or DEFAULT_UTILISATIONS,
+        techniques=tuple(args.techniques),
+        deadline=args.deadline if args.deadline is not None
+        else DEFAULT_DEADLINE,
+        zipf_s=args.zipf_s if args.zipf_s is not None else DEFAULT_ZIPF_S,
+        obs=obs, jobs=args.jobs, cache=_cache(args),
+        supervision=_supervision(args),
+    )
+    _emit(open_workload_rows(curves), args.output)
     _finish_obs(obs)
     return 0
 
@@ -689,6 +775,39 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="INTERVALS",
                           help="mean time to repair (default: mttf/10)")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_open = sub.add_parser(
+        "open-workload",
+        help="open-arrival grid: blocking and wait percentiles vs "
+             "offered load",
+        epilog="Arrival models, blocking semantics, and the analytic "
+               "validation methodology are documented in "
+               "docs/workloads.md; the grid parallelises with --jobs "
+               "and is cached across invocations "
+               "(docs/parallel_execution.md).",
+    )
+    _add_common(p_open)
+    p_open.add_argument("--values", type=float, nargs="*", default=None,
+                        metavar="PER_S",
+                        help="offered arrival rates, requests/second "
+                             "(default: derived from --utilisation)")
+    p_open.add_argument("--utilisation", type=float, nargs="*", default=None,
+                        metavar="FRACTION",
+                        help="offered load as fractions of nominal array "
+                             "capacity (default: "
+                             f"{', '.join(str(u) for u in DEFAULT_UTILISATIONS)})")
+    p_open.add_argument("--techniques", nargs="+",
+                        default=["simple", "staggered"],
+                        choices=["simple", "staggered", "vdr"],
+                        help="storage techniques to sweep")
+    p_open.add_argument("--deadline", type=int, default=None,
+                        metavar="INTERVALS",
+                        help="admission deadline before an arrival is "
+                             f"blocked (default: {DEFAULT_DEADLINE})")
+    p_open.add_argument("--zipf-s", type=float, default=None, metavar="S",
+                        help="Zipf catalog-skew exponent "
+                             f"(default: {DEFAULT_ZIPF_S})")
+    p_open.set_defaults(func=cmd_open_workload)
 
     p_fig8 = sub.add_parser(
         "figure8",

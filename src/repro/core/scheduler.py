@@ -218,6 +218,39 @@ class StaggeredStripingPolicy(StoragePolicy):
             )
         self._queue.append(entry)
 
+    def try_cancel(self, request: Request, interval: int) -> bool:
+        """Withdraw ``request`` if it is still waiting for admission.
+
+        Open workloads block requests whose deadline expires (see
+        :mod:`repro.workload.arrivals`).  A queued entry is removed
+        and every resource :meth:`submit` or a partial admission pass
+        acquired is handed back: tentatively claimed lanes (via
+        :meth:`repro.core.admission.Admitter.abort`), the pending-lane
+        budget, and the object pin.  A request whose display already
+        activated is refused — it runs to completion.  An in-flight
+        materialisation is deliberately left running: the title still
+        lands on disk for future arrivals.
+        """
+        for index, entry in enumerate(self._queue):
+            if entry.request.request_id == request.request_id:
+                break
+        else:
+            return False
+        del self._queue[index]
+        display = entry.display
+        if display is not None:
+            self._queued_pending_lanes -= display.pending_lane_count
+            self._cancel_display(display)
+        self.object_manager.unpin(request.object_id)
+        if self.event_log is not None:
+            self.event_log.record(
+                interval,
+                "blocked",
+                request=request.request_id,
+                object=request.object_id,
+            )
+        return True
+
     def attach_faults(self, coordinator) -> None:
         """Install a fault coordinator (see :mod:`repro.faults`)."""
         self.faults = coordinator

@@ -12,6 +12,7 @@ from repro.experiments import (
     latency_profile,
     layouts,
     mixed_media,
+    open_workload,
     section31,
     stride,
     table4,
@@ -24,6 +25,7 @@ __all__ = [
     "latency_profile",
     "layouts",
     "mixed_media",
+    "open_workload",
     "section31",
     "stride",
     "table4",

@@ -79,6 +79,30 @@ class RandomStream:
             raise ValueError(f"exponential mean must be > 0, got {mean}")
         return self._rng.expovariate(1.0 / mean)
 
+    def poisson(self, mean: float) -> int:
+        """Poisson variate with the given mean.
+
+        Counts arrivals in a window of integrated rate ``mean`` (see
+        :mod:`repro.workload.arrivals`).  Uses Knuth's product method
+        in chunks of ≤ 32 so ``exp(-mean)`` never underflows; the
+        chunked sum is exact because Poisson counts over disjoint
+        sub-windows are independent and add.
+        """
+        if mean < 0:
+            raise ValueError(f"poisson mean must be >= 0, got {mean}")
+        total = 0
+        remaining = mean
+        rng = self._rng
+        while remaining > 0:
+            chunk = remaining if remaining <= 32.0 else 32.0
+            remaining -= chunk
+            threshold = math.exp(-chunk)
+            product = rng.random()
+            while product > threshold:
+                total += 1
+                product *= rng.random()
+        return total
+
     def choice(self, seq: Sequence) -> object:
         """Uniform choice from a non-empty sequence."""
         return self._rng.choice(seq)

@@ -69,6 +69,21 @@ class SimulationConfig:
     num_stations: int = 16
     access_mean: Optional[float] = 10.0  # None = uniform
     think_intervals: int = 0
+    # Open workload (repro.workload.arrivals).  The defaults describe
+    # the paper's closed station loop, so every pre-open config —
+    # and its cache digest — is expressed unchanged.
+    arrival: str = "closed"  # "closed" | "poisson" | "mmpp"
+    arrival_rate: Optional[float] = None  # requests/second (poisson)
+    zipf_s: Optional[float] = None  # Zipf exponent; overrides the geometric
+    deadline_intervals: Optional[int] = None  # admission deadline; None = wait forever
+    mmpp_rates: tuple = ()  # per-phase rates, requests/second
+    mmpp_sojourn: tuple = ()  # per-phase mean sojourn, intervals
+    diurnal_period: Optional[float] = None  # intervals per diurnal cycle
+    diurnal_amplitude: float = 0.0  # 0 = flat, 1 = full swing
+    burst_at: Optional[int] = None  # flash-crowd start interval
+    burst_duration: int = 0  # flash-crowd length, intervals
+    burst_factor: float = 1.0  # rate multiplier inside the burst
+    burst_hotspot: float = 0.0  # burst fraction aimed at the hottest title
     # Run control.
     warmup_intervals: int = 600
     measure_intervals: int = 3000
@@ -137,6 +152,83 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"mirroring pairs drives; D must be even, got {self.num_disks}"
             )
+        # Open-workload knobs (repro.workload.arrivals).
+        if self.arrival not in ("closed", "poisson", "mmpp"):
+            raise ConfigurationError(f"unknown arrival {self.arrival!r}")
+        if self.arrival == "poisson" and (
+            self.arrival_rate is None or self.arrival_rate <= 0
+        ):
+            raise ConfigurationError(
+                f"poisson arrivals need arrival_rate > 0 requests/s, "
+                f"got {self.arrival_rate}"
+            )
+        if self.arrival == "mmpp":
+            if len(self.mmpp_rates) < 2:
+                raise ConfigurationError(
+                    f"mmpp needs >= 2 phase rates, got {self.mmpp_rates}"
+                )
+            if len(self.mmpp_sojourn) != len(self.mmpp_rates):
+                raise ConfigurationError(
+                    f"mmpp needs one sojourn per phase: "
+                    f"{len(self.mmpp_rates)} rates vs "
+                    f"{len(self.mmpp_sojourn)} sojourns"
+                )
+            if any(r < 0 for r in self.mmpp_rates) or (
+                max(self.mmpp_rates) <= 0
+            ):
+                raise ConfigurationError(
+                    f"mmpp rates must be >= 0 requests/s with at least "
+                    f"one > 0, got {self.mmpp_rates}"
+                )
+            if any(s <= 0 for s in self.mmpp_sojourn):
+                raise ConfigurationError(
+                    f"mmpp sojourns must be > 0 intervals, "
+                    f"got {self.mmpp_sojourn}"
+                )
+        if self.zipf_s is not None and self.zipf_s <= 0:
+            raise ConfigurationError(
+                f"zipf_s must be > 0, got {self.zipf_s}"
+            )
+        if self.deadline_intervals is not None and self.deadline_intervals < 0:
+            raise ConfigurationError(
+                f"deadline_intervals must be >= 0, "
+                f"got {self.deadline_intervals}"
+            )
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ConfigurationError(
+                f"diurnal_amplitude must be in [0, 1], "
+                f"got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_amplitude > 0 and (
+            self.diurnal_period is None or self.diurnal_period <= 0
+        ):
+            raise ConfigurationError(
+                "diurnal_amplitude > 0 needs diurnal_period > 0 intervals"
+            )
+        if self.burst_at is not None and self.burst_at < 0:
+            raise ConfigurationError(
+                f"burst_at must be >= 0, got {self.burst_at}"
+            )
+        if self.burst_at is not None and self.burst_duration < 1:
+            raise ConfigurationError(
+                f"a burst needs burst_duration >= 1 interval, "
+                f"got {self.burst_duration}"
+            )
+        if self.burst_factor < 0:
+            raise ConfigurationError(
+                f"burst_factor must be >= 0, got {self.burst_factor}"
+            )
+        if not 0.0 <= self.burst_hotspot <= 1.0:
+            raise ConfigurationError(
+                f"burst_hotspot must be in [0, 1], got {self.burst_hotspot}"
+            )
+        # Normalise the MMPP tuples to hashable float tuples.
+        object.__setattr__(
+            self, "mmpp_rates", tuple(float(r) for r in self.mmpp_rates)
+        )
+        object.__setattr__(
+            self, "mmpp_sojourn", tuple(float(s) for s in self.mmpp_sojourn)
+        )
         # Normalise fail_at to a hashable, validated tuple of pairs.
         scripted = []
         for entry in self.fail_at:
@@ -219,14 +311,44 @@ class SimulationConfig:
         """True when any failure source is configured."""
         return self.mttf is not None or bool(self.fail_at)
 
+    @property
+    def is_open(self) -> bool:
+        """True when the workload is an open arrival stream."""
+        return self.arrival != "closed"
+
     def describe(self) -> str:
         """One-line summary for logs and reports."""
-        mean = "uniform" if self.access_mean is None else f"{self.access_mean:g}"
+        if self.zipf_s is not None:
+            mean = f"zipf({self.zipf_s:g})"
+        elif self.access_mean is None:
+            mean = "uniform"
+        else:
+            mean = f"{self.access_mean:g}"
+        if self.is_open:
+            if self.arrival == "mmpp":
+                rate = "/".join(f"{r:g}" for r in self.mmpp_rates)
+            else:
+                rate = f"{self.arrival_rate:g}"
+            deadline = (
+                "inf" if self.deadline_intervals is None
+                else str(self.deadline_intervals)
+            )
+            workload = (
+                f"arrival={self.arrival} rate={rate}/s "
+                f"deadline={deadline} mean={mean}"
+            )
+            if self.burst_at is not None:
+                workload += (
+                    f" burst@{self.burst_at}+{self.burst_duration}"
+                    f"x{self.burst_factor:g}"
+                )
+        else:
+            workload = f"stations={self.num_stations} mean={mean}"
         line = (
             f"{self.technique} D={self.num_disks} M={self.degree} "
             f"k={'n/a' if self.technique == 'vdr' else self.effective_stride} "
             f"objects={self.num_objects}x{self.num_subobjects} "
-            f"stations={self.num_stations} mean={mean}"
+            f"{workload}"
         )
         if self.faults_enabled:
             mttf = "scripted" if self.mttf is None else f"{self.mttf:g}"

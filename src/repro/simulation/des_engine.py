@@ -2,23 +2,29 @@
 
 The production :class:`~repro.simulation.engine.IntervalEngine`
 advances the model with a plain loop.  This module drives exactly the
-same policy and stations from the :mod:`repro.sim` kernel instead —
-one *clock process* fires the per-interval work, and each completion
-wakes the issuing station's process through an event.  It exists to
-demonstrate (and test) that the interval-stepped loop is behaviourally
-identical to a process-oriented CSIM-style simulation: DESIGN.md's
-ablation 1.
+same policy and arrival process from the :mod:`repro.sim` kernel
+instead — one *clock process* fires the per-interval work, and each
+completion wakes the issuing station's process through an event.  It
+exists to demonstrate (and test) that the interval-stepped loop is
+behaviourally identical to a process-oriented CSIM-style simulation:
+DESIGN.md's ablation 1.
+
+Open arrival sources (:mod:`repro.workload.arrivals`) run through the
+same clock process with the same deadline/blocking bookkeeping as the
+interval engine, so the equivalence claim covers the open workload
+too (tests/simulation/test_des_engine.py).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulation, hold
 from repro.simulation.policy import Completion, StoragePolicy
 from repro.simulation.results import SimulationResult
-from repro.workload.stations import StationPool
+from repro.workload.arrivals import ArrivalProcess
 
 
 class DESEngine:
@@ -27,7 +33,7 @@ class DESEngine:
     def __init__(
         self,
         policy: StoragePolicy,
-        stations: StationPool,
+        stations: ArrivalProcess,
         interval_length: float,
         technique: str = "",
         access_mean: Optional[float] = None,
@@ -46,19 +52,52 @@ class DESEngine:
         self.sim = Simulation(tracer=obs.tracer if obs is not None else None)
         self.interval = 0
         self._completions_this_interval: List[Completion] = []
+        # Open-workload deadline bookkeeping, mirroring IntervalEngine.
+        self._is_open = bool(getattr(stations, "is_open", False))
+        self._deadline = getattr(stations, "deadline_intervals", None)
+        self.offered_total = 0
+        self.blocked_total = 0
+        self._waiting: dict = {}
+        self._expiries: deque = deque()
 
     def _clock_process(
         self, total_intervals: int, on_completion, first_measured: int, result
     ):
         """One generator process that owns the interval cadence."""
+        deadline = self._deadline
+        waiting = self._waiting
+        expiries = self._expiries
         for _ in range(total_intervals):
             interval = self.interval
+            in_window = interval >= first_measured
             for request in self.stations.ready_requests(interval):
                 self.policy.submit(request, interval)
+                self.offered_total += 1
+                if in_window:
+                    result.offered += 1
+                if deadline is not None:
+                    waiting[request.request_id] = request
+                    expiries.append((interval + deadline, request.request_id))
             for completion in self.policy.advance(interval):
                 self.stations.complete(completion.request, interval)
+                if deadline is not None:
+                    waiting.pop(completion.request.request_id, None)
                 on_completion(interval, completion)
-            if interval >= first_measured:
+            if deadline is not None:
+                while expiries and expiries[0][0] <= interval:
+                    _expire_at, request_id = expiries.popleft()
+                    request = waiting.pop(request_id, None)
+                    if request is None:
+                        continue  # completed in time
+                    if self.policy.try_cancel(request, interval):
+                        self.blocked_total += 1
+                        self.stations.record_blocked(request, interval)
+                        # Attributed to the *arrival* interval so the
+                        # windowed blocked/offered counts cover the
+                        # same cohort (mirrors IntervalEngine.run).
+                        if request.issued_at >= first_measured:
+                            result.blocked += 1
+            if in_window:
                 sample = self.policy.utilization_sample()
                 result.record_utilization(
                     sample.active_displays, sample.busy_fraction
@@ -82,6 +121,7 @@ class DESEngine:
             warmup_intervals=warmup_intervals,
             measure_intervals=measure_intervals,
             completed=0,
+            arrival=getattr(self.stations, "kind", "closed"),
         )
         first_measured = self.interval + warmup_intervals
 

@@ -2,11 +2,16 @@
 
 The engine advances the model one ``S(C_i)`` interval at a time:
 
-1. idle stations issue requests (closed loop, zero think time);
+1. the arrival process issues requests — idle closed-loop stations
+   (the paper's §4.1 workload) or open Poisson/MMPP arrivals
+   (:mod:`repro.workload.arrivals`);
 2. the storage policy advances — lane releases, tertiary progress,
    admissions, completions;
-3. completions are fed back to their stations, which immediately
-   (after the configured think time) re-issue.
+3. completions are fed back to the arrival process (a closed station
+   re-issues after its think time);
+4. for *open* sources with an admission deadline, requests still
+   waiting past it are withdrawn from the policy and counted as
+   **blocked** — the loss semantics of an unbounded user population.
 
 Displays deliver on a fixed closed-form schedule once admitted, so an
 interval costs ``O(queued requests)`` — the engine comfortably runs
@@ -15,27 +20,32 @@ the paper's full-scale configuration (D = 1000, 15 000-interval runs).
 
 from __future__ import annotations
 
+from collections import deque
 from time import perf_counter
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.simulation.policy import Completion, StoragePolicy
 from repro.simulation.results import SimulationResult
-from repro.workload.stations import StationPool
+from repro.workload.arrivals import ArrivalProcess
 
 
 class IntervalEngine:
-    """Couples a station pool to a storage policy over a shared clock.
+    """Couples an arrival process to a storage policy over a shared
+    clock.
 
-    ``obs`` (a :class:`repro.obs.RunObservation`) enables wall-clock
-    phase profiling of each step; the default ``None`` keeps the step
-    path untouched.
+    ``stations`` is any :class:`~repro.workload.arrivals.
+    ArrivalProcess` — the closed :class:`~repro.workload.stations.
+    StationPool` or open :class:`~repro.workload.arrivals.
+    OpenArrivals`.  ``obs`` (a :class:`repro.obs.RunObservation`)
+    enables wall-clock phase profiling of each step; the default
+    ``None`` keeps the step path untouched.
     """
 
     def __init__(
         self,
         policy: StoragePolicy,
-        stations: StationPool,
+        stations: ArrivalProcess,
         interval_length: float,
         technique: str = "",
         access_mean: Optional[float] = None,
@@ -56,7 +66,31 @@ class IntervalEngine:
         # Optional repro.sim.sanitize.Sanitizer; checked once per
         # interval in run() so the step path stays untouched.
         self.sanitizer = sanitizer
-        if obs is not None:
+        # Open-workload state.  `is_open`/`deadline_intervals` default
+        # to False/None on closed sources, so the closed path below is
+        # byte-for-byte the seed path.
+        self._is_open = bool(getattr(stations, "is_open", False))
+        self._deadline = getattr(stations, "deadline_intervals", None)
+        self.offered_total = 0
+        self.blocked_total = 0
+        self._waiting: dict = {}
+        self._expiries: deque = deque()
+        # Arrival intervals of requests blocked since run() last drained
+        # this: blocking is attributed to the request's *arrival* time,
+        # so windowed blocked/offered counts cover the same cohort.
+        self._blocked_issued: List[int] = []
+        if self._is_open:
+            # Instance-bound dispatch, as with `_step_observed`: the
+            # open step carries deadline bookkeeping the closed hot
+            # path must not pay for.
+            self.step = self._step_open
+            if obs is not None:
+                registry = obs.registry
+                self._c_offered = registry.counter("workload.offered")
+                self._c_blocked = registry.counter("workload.blocked")
+                self._c_completed = registry.counter("workload.completed")
+                obs.add_flusher(self._flush_workload_counters)
+        elif obs is not None:
             self._obs_stride = obs.sample_stride
             # Instance-bound dispatch: the uninstrumented `step` stays
             # byte-for-byte the seed path and pays nothing when off.
@@ -107,6 +141,53 @@ class IntervalEngine:
         self.interval += 1
         return completions
 
+    def _step_open(self) -> List[Completion]:
+        """`step` for open arrivals: deadline tracking and blocking.
+
+        Arrivals register an expiry when the source carries an
+        admission deadline; an arrival still unadmitted when its
+        expiry interval passes is withdrawn from the policy
+        (:meth:`~repro.simulation.policy.StoragePolicy.try_cancel`)
+        and counted as blocked.  A ``try_cancel`` refusal means the
+        display already started — it runs to completion and is simply
+        dropped from the tracker.
+        """
+        t = self.interval
+        stations = self.stations
+        policy = self.policy
+        deadline = self._deadline
+        waiting = self._waiting
+        for request in stations.ready_requests(t):
+            policy.submit(request, t)
+            self.offered_total += 1
+            if deadline is not None:
+                waiting[request.request_id] = request
+                self._expiries.append((t + deadline, request.request_id))
+        completions = policy.advance(t)
+        for completion in completions:
+            stations.complete(completion.request, t)
+            if deadline is not None:
+                waiting.pop(completion.request.request_id, None)
+        if deadline is not None:
+            expiries = self._expiries
+            while expiries and expiries[0][0] <= t:
+                _expire_at, request_id = expiries.popleft()
+                request = waiting.pop(request_id, None)
+                if request is None:
+                    continue  # completed in time
+                if policy.try_cancel(request, t):
+                    self.blocked_total += 1
+                    self._blocked_issued.append(request.issued_at)
+                    stations.record_blocked(request, t)
+                # else: admission won the race; it will complete.
+        self.interval += 1
+        return completions
+
+    def _flush_workload_counters(self) -> None:
+        self._c_offered.value = float(self.offered_total)
+        self._c_blocked.value = float(self.blocked_total)
+        self._c_completed.value = float(self.stations.total_completed())
+
     def run(
         self, warmup_intervals: int, measure_intervals: int
     ) -> SimulationResult:
@@ -127,16 +208,31 @@ class IntervalEngine:
             warmup_intervals=warmup_intervals,
             measure_intervals=measure_intervals,
             completed=0,
+            arrival=getattr(self.stations, "kind", "closed"),
         )
         end_of_warmup = self.interval + warmup_intervals
         end_of_run = end_of_warmup + measure_intervals
         sanitizer = self.sanitizer
+        is_open = self._is_open
         while self.interval < end_of_run:
             in_window = self.interval >= end_of_warmup
             t = self.interval
+            if is_open and in_window:
+                offered_before = self.offered_total
             for completion in self.step():
                 if in_window:
                     result.record(completion)
+            if is_open and in_window:
+                result.offered += self.offered_total - offered_before
+            if is_open and self._blocked_issued:
+                # A blocked request counts toward the window iff it
+                # *arrived* in the window (same cohort as `offered`,
+                # so blocking_probability can never exceed 1).
+                result.blocked += sum(
+                    1 for issued in self._blocked_issued
+                    if issued >= end_of_warmup
+                )
+                self._blocked_issued.clear()
             if sanitizer is not None:
                 sanitizer.check_interval(self.policy, t)
             if in_window:

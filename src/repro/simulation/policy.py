@@ -72,6 +72,19 @@ class StoragePolicy(abc.ABC):
     def stats(self) -> Dict[str, float]:
         """Policy-specific statistics for the result report."""
 
+    def try_cancel(self, request: Request, interval: int) -> bool:
+        """Withdraw a request that has not yet been admitted.
+
+        The engine calls this when an open arrival's admission
+        deadline expires (see :mod:`repro.workload.arrivals`).  Return
+        ``True`` if the request was still waiting and has been fully
+        released (queue entry, pins, and any tentatively claimed
+        resources) — the request is then *blocked*.  Return ``False``
+        if service already started; the display then runs to
+        completion.  The default (closed-workload policies never
+        cancel) refuses."""
+        return False
+
     def utilization_sample(self) -> "UtilizationSample":
         """Instantaneous load snapshot (active displays, fraction of
         the array's bandwidth in use).  Policies may override; the

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -32,6 +33,11 @@ class SimulationResult:
     completed: int
     latencies_intervals: List[int] = field(default_factory=list)
     policy_stats: Dict[str, float] = field(default_factory=dict)
+    # Open-workload accounting (repro.workload.arrivals).  Closed runs
+    # keep the defaults: arrival "closed", zero offered/blocked.
+    arrival: str = "closed"
+    offered: int = 0
+    blocked: int = 0
     # Per-interval load samples over the measurement window.
     concurrency_sum: int = 0
     concurrency_max: int = 0
@@ -87,6 +93,48 @@ class SimulationResult:
         return self.concurrency_sum / self.samples if self.samples else 0.0
 
     @property
+    def blocking_probability(self) -> float:
+        """Blocked ÷ offered over the measurement window (open runs).
+
+        The quality-of-service metric of a loss system — what
+        Erlang-B predicts for a memoryless single resource (see
+        :mod:`repro.workload.analytic`)."""
+        return self.blocked / self.offered if self.offered else 0.0
+
+    @property
+    def carried_load(self) -> float:
+        """Mean concurrently served displays, in erlangs.
+
+        The complement of blocking: offered traffic that was actually
+        admitted and held service."""
+        return self.mean_concurrent_displays
+
+    def wait_percentile_seconds(self, fraction: float) -> float:
+        """Nearest-rank percentile of the admission wait (seconds)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self.latencies_intervals:
+            return 0.0
+        ordered = sorted(self.latencies_intervals)
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[rank] * self.interval_length
+
+    @property
+    def wait_p50_seconds(self) -> float:
+        """Median admission wait."""
+        return self.wait_percentile_seconds(0.50)
+
+    @property
+    def wait_p95_seconds(self) -> float:
+        """95th-percentile admission wait."""
+        return self.wait_percentile_seconds(0.95)
+
+    @property
+    def wait_p99_seconds(self) -> float:
+        """99th-percentile admission wait."""
+        return self.wait_percentile_seconds(0.99)
+
+    @property
     def mean_busy_fraction(self) -> float:
         """Average fraction of array bandwidth in use in the window."""
         return self.busy_fraction_sum / self.samples if self.samples else 0.0
@@ -113,6 +161,9 @@ class SimulationResult:
             "concurrency_max": self.concurrency_max,
             "busy_fraction_sum": self.busy_fraction_sum,
             "samples": self.samples,
+            "arrival": self.arrival,
+            "offered": self.offered,
+            "blocked": self.blocked,
         }
 
     @classmethod
@@ -132,6 +183,9 @@ class SimulationResult:
             concurrency_max=data.get("concurrency_max", 0),
             busy_fraction_sum=data.get("busy_fraction_sum", 0.0),
             samples=data.get("samples", 0),
+            arrival=data.get("arrival", "closed"),
+            offered=data.get("offered", 0),
+            blocked=data.get("blocked", 0),
         )
 
     def summary(self) -> Dict[str, float]:
@@ -148,6 +202,20 @@ class SimulationResult:
             "max_concurrent": self.concurrency_max,
             "mean_busy_fraction": round(self.mean_busy_fraction, 3),
         }
+        if self.arrival != "closed":
+            # Open-workload columns.  Gated on the arrival model so
+            # closed rows — including every golden fixture — stay
+            # byte-identical to the seed.
+            report["arrival"] = self.arrival
+            report["offered"] = self.offered
+            report["blocked"] = self.blocked
+            report["blocking_probability"] = round(
+                self.blocking_probability, 4
+            )
+            report["wait_p50_s"] = round(self.wait_p50_seconds, 2)
+            report["wait_p95_s"] = round(self.wait_p95_seconds, 2)
+            report["wait_p99_s"] = round(self.wait_p99_seconds, 2)
+            report["carried_load"] = round(self.carried_load, 2)
         report.update(
             {k: round(v, 4) if isinstance(v, float) else v
              for k, v in self.policy_stats.items()}

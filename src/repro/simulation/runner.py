@@ -39,7 +39,19 @@ from repro.sim import sanitize
 from repro.sim.rng import RandomStream
 from repro.vdr.clusters import ClusterArray
 from repro.vdr.scheduler import VirtualReplicationPolicy
-from repro.workload.access import AccessDistribution, GeometricAccess, UniformAccess
+from repro.workload.access import (
+    AccessDistribution,
+    GeometricAccess,
+    UniformAccess,
+    ZipfAccess,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPPSource,
+    OpenArrivals,
+    PoissonSource,
+    RateModulation,
+)
 from repro.workload.stations import StationPool
 
 
@@ -88,10 +100,88 @@ def cached_catalog(config: SimulationConfig) -> Catalog:
 def build_access(
     config: SimulationConfig, catalog: Catalog, stream: RandomStream
 ) -> AccessDistribution:
-    """The configured access distribution over the catalog."""
+    """The configured access distribution over the catalog.
+
+    ``zipf_s`` wins when set (the skew law of large VoD catalogs);
+    otherwise the paper's truncated geometric, or uniform when
+    ``access_mean`` is ``None``.
+    """
+    if config.zipf_s is not None:
+        return ZipfAccess(catalog.object_ids, config.zipf_s, stream)
     if config.access_mean is None:
         return UniformAccess(catalog.object_ids, stream)
     return GeometricAccess(catalog.object_ids, config.access_mean, stream)
+
+
+def build_arrivals(
+    config: SimulationConfig, access: AccessDistribution, stream: RandomStream
+) -> ArrivalProcess:
+    """The configured request source.
+
+    Closed configs build the seed's :class:`StationPool` with no extra
+    random draws, so pre-open runs stay byte-identical.  Open configs
+    build :class:`~repro.workload.arrivals.OpenArrivals` over a
+    Poisson or MMPP source; every component draws from its own named
+    substream of the run seed (``workload.arrivals``,
+    ``workload.mmpp``, ``workload.modulation``, ``workload.burst``) so
+    enabling one shaping feature never perturbs the others.
+    """
+    if not config.is_open:
+        return StationPool(
+            num_stations=config.num_stations,
+            access=access,
+            think_intervals=config.think_intervals,
+        )
+    interval_length = config.interval_length
+    modulation = RateModulation(
+        diurnal_period=(
+            None if config.diurnal_period is None
+            else config.diurnal_period * interval_length
+        ),
+        diurnal_amplitude=config.diurnal_amplitude,
+        burst_start=(
+            None if config.burst_at is None
+            else config.burst_at * interval_length
+        ),
+        burst_end=(
+            None if config.burst_at is None
+            else (config.burst_at + config.burst_duration) * interval_length
+        ),
+        burst_factor=config.burst_factor,
+    )
+    # Shaped traffic runs the source at peak rate; arrivals are
+    # thinned back to the instantaneous rate (exact inhomogeneous
+    # construction).  peak_factor is 1 for flat traffic.
+    peak = modulation.peak_factor
+    if config.arrival == "poisson":
+        source = PoissonSource(
+            rate=config.arrival_rate * peak,
+            stream=stream.substream("workload.arrivals"),
+        )
+    else:
+        source = MMPPSource(
+            rates=[r * peak for r in config.mmpp_rates],
+            sojourns=[s * interval_length for s in config.mmpp_sojourn],
+            arrival_stream=stream.substream("workload.arrivals"),
+            phase_stream=stream.substream("workload.mmpp"),
+        )
+    return OpenArrivals(
+        source=source,
+        access=access,
+        interval_length=interval_length,
+        deadline_intervals=config.deadline_intervals,
+        modulation=modulation,
+        burst_hotspot=config.burst_hotspot,
+        modulation_stream=(
+            None if modulation.is_flat
+            else stream.substream("workload.modulation")
+        ),
+        burst_stream=(
+            stream.substream("workload.burst")
+            if config.burst_hotspot > 0 else None
+        ),
+        kind=config.arrival,
+    )
 
 
 def build_faults(config: SimulationConfig, policy: StoragePolicy, obs=None):
@@ -236,11 +326,7 @@ def build_engine(
     policy = build_policy(config, catalog, obs=obs)
     if config.preload:
         policy.preload(preload_ids(config, access))
-    stations = StationPool(
-        num_stations=config.num_stations,
-        access=access,
-        think_intervals=config.think_intervals,
-    )
+    stations = build_arrivals(config, access, stream)
     return IntervalEngine(
         policy=policy,
         stations=stations,

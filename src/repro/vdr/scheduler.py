@@ -181,6 +181,31 @@ class VirtualReplicationPolicy(StoragePolicy):
             self._queue_materialization(object_id)
         self._queue.append(request)
 
+    def try_cancel(self, request: Request, interval: int) -> bool:
+        """Withdraw ``request`` if it is still queued for a cluster.
+
+        Open workloads block requests whose deadline expires.  The
+        waiting entry is dropped and its pin released; the recorded
+        access frequency is kept (the demand was real — MRT replica
+        decisions should still see it).  A request whose display
+        already started on a cluster is refused.  An in-flight
+        materialisation its miss triggered keeps running: the title
+        still lands for future arrivals.
+        """
+        for index, queued in enumerate(self._queue):
+            if queued.request_id == request.request_id:
+                del self._queue[index]
+                self._unpin(request.object_id)
+                if self.event_log is not None:
+                    self.event_log.record(
+                        interval,
+                        "blocked",
+                        request=request.request_id,
+                        object=request.object_id,
+                    )
+                return True
+        return False
+
     def attach_faults(self, coordinator) -> None:
         """Install a fault coordinator (see :mod:`repro.faults`)."""
         self.faults = coordinator

@@ -1,22 +1,60 @@
-"""Workload generation: display stations and access distributions.
+"""Workload generation: arrival processes and access distributions.
 
 The paper's experiment (§4.1) drives the system with a *closed*
 workload: each display station issues one request, waits for the whole
 display, and immediately (zero think time) issues the next.  Object
 choice follows a truncated geometric distribution whose mean tunes the
 skew (10 = highly skewed … 43.5 = near uniform over the working set).
+
+Beyond the paper, :mod:`repro.workload.arrivals` opens the system:
+Poisson/MMPP request streams with Zipf catalog skew, diurnal shaping,
+flash-crowd bursts, and deadline-based blocking —
+:class:`StationPool` is simply the closed implementation of the same
+:class:`ArrivalProcess` contract.  :mod:`repro.workload.analytic`
+holds the Erlang-B / M/M/c closed forms and harness server policies
+the open engine is validated against (docs/workloads.md).
 """
 
-from repro.workload.access import AccessDistribution, GeometricAccess, UniformAccess
+from repro.workload.access import (
+    AccessDistribution,
+    GeometricAccess,
+    UniformAccess,
+    ZipfAccess,
+)
+from repro.workload.analytic import (
+    LossServerPolicy,
+    QueueServerPolicy,
+    erlang_b,
+    erlang_c,
+    mmc_mean_wait,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPPSource,
+    OpenArrivals,
+    PoissonSource,
+    RateModulation,
+)
 from repro.workload.stations import DisplayStation, StationPool
 from repro.workload.trace import RecordingAccess, TraceAccess
 
 __all__ = [
     "AccessDistribution",
+    "ArrivalProcess",
     "DisplayStation",
     "GeometricAccess",
+    "LossServerPolicy",
+    "MMPPSource",
+    "OpenArrivals",
+    "PoissonSource",
+    "QueueServerPolicy",
+    "RateModulation",
     "RecordingAccess",
     "StationPool",
     "TraceAccess",
     "UniformAccess",
+    "ZipfAccess",
+    "erlang_b",
+    "erlang_c",
+    "mmc_mean_wait",
 ]

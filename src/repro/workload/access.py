@@ -66,6 +66,57 @@ class GeometricAccess(AccessDistribution):
         return effective_working_set(self.mean, len(self.object_ids), mass)
 
 
+def zipf_pmf(exponent: float, limit: int) -> List[float]:
+    """Probability mass function of a Zipf law over ``limit`` ranks.
+
+    ``P(rank i) ∝ 1 / (i + 1)**exponent`` for ``i`` in ``[0, limit)``,
+    normalised to sum to 1.  Rank 0 is the most popular title — the
+    skew law large VoD catalog studies fit to real request streams
+    (arXiv:0804.0743), offered alongside the paper's truncated
+    geometric.
+    """
+    if limit < 1:
+        raise ConfigurationError(f"pmf limit must be >= 1, got {limit}")
+    if exponent <= 0:
+        raise ConfigurationError(
+            f"zipf exponent must be > 0, got {exponent}"
+        )
+    weights = [(i + 1) ** -exponent for i in range(limit)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+class ZipfAccess(AccessDistribution):
+    """Zipf-skewed access over ``object_ids``.
+
+    ``object_ids[0]`` is the most popular object, matching the
+    catalog-order convention of :class:`GeometricAccess`.
+    """
+
+    def __init__(
+        self, object_ids: Sequence[int], exponent: float, stream: RandomStream
+    ) -> None:
+        if not object_ids:
+            raise ConfigurationError("object_ids must be non-empty")
+        self.object_ids = list(object_ids)
+        self.exponent = exponent
+        self.pmf = zipf_pmf(exponent, len(self.object_ids))
+        self._sampler = DiscreteSampler(self.pmf, stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ZipfAccess s={self.exponent} objects={len(self.object_ids)}>"
+        )
+
+    def sample(self) -> int:
+        """Draw one object id (rank transformed through the pmf)."""
+        return self.object_ids[self._sampler.sample()]
+
+    def popularity_ranking(self) -> List[int]:
+        """Most-popular-first ordering (the catalog order itself)."""
+        return list(self.object_ids)
+
+
 class UniformAccess(AccessDistribution):
     """Uniform access over ``object_ids`` (the skew-free extreme)."""
 

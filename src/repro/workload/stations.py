@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.simulation.policy import Request
 from repro.workload.access import AccessDistribution
+from repro.workload.arrivals import ArrivalProcess
 
 
 @dataclass
@@ -36,8 +37,15 @@ class DisplayStation:
         return self.outstanding is not None
 
 
-class StationPool:
-    """All display stations plus the shared access distribution."""
+class StationPool(ArrivalProcess):
+    """All display stations plus the shared access distribution.
+
+    The paper's closed workload, expressed as one
+    :class:`~repro.workload.arrivals.ArrivalProcess` implementation:
+    the population is the fixed station set, nobody ever blocks
+    (``is_open`` is ``False``, ``deadline_intervals`` is ``None``),
+    and a completed station re-issues after its think time.
+    """
 
     def __init__(
         self,

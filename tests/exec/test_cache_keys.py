@@ -58,6 +58,18 @@ PERTURBATIONS = [
     ("rebuild_rate", 2),
     ("on_fault", "abort"),
     ("fail_at", ((3, 100),)),
+    # Open workload (repro.workload.arrivals): a cached closed run
+    # must never be served for an open one, and every arrival-shaping
+    # knob must fork the key.
+    ("arrival_rate", 0.05),
+    ("zipf_s", 0.8),
+    ("deadline_intervals", 10),
+    ("mmpp_rates", (0.02, 0.08)),
+    ("mmpp_sojourn", (120.0, 120.0)),
+    ("diurnal_period", 900.0),
+    ("burst_duration", 5),
+    ("burst_factor", 2.0),
+    ("burst_hotspot", 0.25),
 ]
 
 #: Workload overrides safe to combine in any subset.
@@ -136,6 +148,24 @@ class TestPerturbationsChangeKey:
         declared = {f.name for f in dataclasses.fields(base_config())}
         assert hashed == declared
         assert set(DIGEST_EXCLUDED_CONFIG_FIELDS) == {"sanitize"}
+
+    def test_arrival_model_forks_the_key(self):
+        """The arrival mode itself cannot be perturbed alone (an open
+        mode requires its rate fields), so check the valid
+        combinations: closed, poisson, and mmpp specs must all hash
+        apart."""
+        closed = base_config()
+        poisson = closed.with_(arrival="poisson", arrival_rate=0.05)
+        mmpp = closed.with_(
+            arrival="mmpp",
+            mmpp_rates=(0.02, 0.08),
+            mmpp_sojourn=(100.0, 100.0),
+        )
+        digests = {
+            spec_digest(experiment_spec(config))
+            for config in (closed, poisson, mmpp)
+        }
+        assert len(digests) == 3
 
     def test_sanitize_mode_is_excluded_from_the_key(self):
         """Sanitize only adds checks — all three modes must share one

@@ -1,0 +1,122 @@
+"""Execution-strategy independence for the open-workload grid.
+
+The executor's hard contract (tests/exec/test_determinism.py) extends
+to open arrivals: ``--jobs 1``, ``--jobs 4``, and a warm-cache pass
+over the same open sweep must produce byte-identical rows, and the
+arrival parameters must be visible to the cache key so an open run
+can never be served a closed run's cached payload (or vice versa).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exec import (
+    ResultCache,
+    canonical_json,
+    execute,
+    experiment_spec,
+    spec_digest,
+)
+from repro.exec.hashing import canonical
+from repro.experiments.open_workload import (
+    cell_config,
+    nominal_capacity_rate,
+    run_open_workload,
+)
+from repro.simulation.config import ScaledConfig
+
+PARALLEL_JOBS = int(os.environ.get("REPRO_EXEC_JOBS", "4"))
+
+
+def open_specs():
+    """A heterogeneous open grid: both techniques, poisson and mmpp,
+    one fully shaped cell (diurnal + flash crowd + hotspot)."""
+    base = ScaledConfig(scale=50)
+    rate = round(0.9 * nominal_capacity_rate(base), 9)
+    poisson = cell_config(base, "simple", rate, deadline=10, zipf_s=0.8)
+    staggered = cell_config(base, "staggered", rate)
+    mmpp = base.with_(
+        arrival="mmpp",
+        mmpp_rates=(rate * 0.5, rate * 1.5),
+        mmpp_sojourn=(60.0, 60.0),
+        deadline_intervals=10,
+        zipf_s=0.8,
+    )
+    shaped = cell_config(base, "simple", rate).with_(
+        diurnal_period=300.0,
+        diurnal_amplitude=0.4,
+        burst_at=150,
+        burst_duration=40,
+        burst_factor=2.0,
+        burst_hotspot=0.5,
+    )
+    return [
+        experiment_spec(config)
+        for config in (poisson, staggered, mmpp, shaped)
+    ]
+
+
+def rows_bytes(records) -> str:
+    assert all(record.ok for record in records)
+    return canonical_json([record.payload for record in records])
+
+
+class TestOpenGridByteIdentical:
+    def test_serial_parallel_and_cache_identical(self, tmp_path):
+        specs = open_specs()
+        serial = rows_bytes(execute(specs, jobs=1))
+        parallel = rows_bytes(execute(specs, jobs=PARALLEL_JOBS))
+        assert parallel == serial
+
+        cache = ResultCache(tmp_path / "cache")
+        cold = rows_bytes(execute(specs, jobs=PARALLEL_JOBS, cache=cache))
+        warm_records = execute(specs, jobs=PARALLEL_JOBS, cache=cache)
+        assert cold == serial
+        assert rows_bytes(warm_records) == serial
+        assert all(record.cached for record in warm_records)
+
+    def test_open_rows_carry_open_accounting(self):
+        """The payloads under comparison are genuinely open rows."""
+        for record in execute(open_specs(), jobs=1):
+            assert record.payload["arrival"] in ("poisson", "mmpp")
+            assert record.payload["offered"] > 0
+
+    def test_grid_experiment_independent_of_jobs(self):
+        base = ScaledConfig(scale=50)
+        rates = [round(0.9 * nominal_capacity_rate(base), 9)]
+        serial = run_open_workload(
+            scale=50, rates=rates, techniques=("simple",), jobs=1
+        )
+        parallel = run_open_workload(
+            scale=50, rates=rates, techniques=("simple",), jobs=2
+        )
+        assert serial == parallel
+        point = serial["simple"][0]
+        assert point.offered > 0
+        assert 0.0 <= point.blocking_probability <= 1.0
+
+
+class TestArrivalParamsInDigest:
+    def test_arrival_fields_present_in_canonical_form(self):
+        """spec_digest hashes the canonical config document; the
+        arrival knobs must appear there with their configured
+        values."""
+        base = ScaledConfig(scale=50)
+        config = cell_config(
+            base, "simple", 0.05, deadline=10, zipf_s=0.8
+        ).with_(burst_at=100, burst_duration=20, burst_factor=3.0)
+        document = canonical(config)
+        assert document["arrival"] == "poisson"
+        assert document["arrival_rate"] == 0.05
+        assert document["deadline_intervals"] == 10
+        assert document["zipf_s"] == 0.8
+        assert document["burst_at"] == 100
+        assert document["burst_factor"] == 3.0
+
+    def test_open_specs_hash_apart_from_closed_and_each_other(self):
+        closed = experiment_spec(ScaledConfig(scale=50))
+        digests = [spec_digest(closed)] + [
+            spec_digest(spec) for spec in open_specs()
+        ]
+        assert len(set(digests)) == len(digests)

@@ -9,13 +9,13 @@ from repro.simulation.config import ScaledConfig
 from repro.simulation.des_engine import DESEngine
 from repro.simulation.runner import (
     build_access,
+    build_arrivals,
     build_catalog,
     build_policy,
     build_engine,
     preload_ids,
 )
 from repro.sim.rng import RandomStream
-from repro.workload.stations import StationPool
 
 
 def build_des_engine(config):
@@ -25,11 +25,7 @@ def build_des_engine(config):
     policy = build_policy(config, catalog)
     if config.preload:
         policy.preload(preload_ids(config, access))
-    stations = StationPool(
-        num_stations=config.num_stations,
-        access=access,
-        think_intervals=config.think_intervals,
-    )
+    stations = build_arrivals(config, access, stream)
     return DESEngine(
         policy=policy,
         stations=stations,
@@ -50,6 +46,27 @@ def test_des_and_interval_engines_agree_exactly(technique):
     des_result = build_des_engine(config).run(200, 1200)
     assert des_result.completed == interval_result.completed
     assert des_result.latencies_intervals == interval_result.latencies_intervals
+    assert des_result.policy_stats == interval_result.policy_stats
+
+
+@pytest.mark.parametrize("technique", ["simple", "staggered", "vdr"])
+def test_des_and_interval_engines_agree_on_open_arrivals(technique):
+    """The equivalence claim covers the open workload: same Poisson
+    source, deadline bookkeeping, and blocking counts through both
+    drivers."""
+    config = ScaledConfig(
+        technique=technique, access_mean=2.0,
+        warmup_intervals=100, measure_intervals=1000,
+        arrival="poisson", arrival_rate=0.05,
+        zipf_s=0.8, deadline_intervals=25,
+    )
+    interval_result = build_engine(config).run(100, 1000)
+    des_result = build_des_engine(config).run(100, 1000)
+    assert interval_result.offered > 0
+    assert des_result.completed == interval_result.completed
+    assert des_result.latencies_intervals == interval_result.latencies_intervals
+    assert des_result.offered == interval_result.offered
+    assert des_result.blocked == interval_result.blocked
     assert des_result.policy_stats == interval_result.policy_stats
 
 

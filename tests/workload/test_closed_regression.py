@@ -1,0 +1,130 @@
+"""Closed-workload regression gate.
+
+The open-workload generalisation must leave every closed run exactly
+as the seed produced it: same builder output, same RNG consumption,
+same result rows, same summary columns.  The golden suite
+(tests/golden) pins the full fixtures; this file pins the *mechanism*
+— so a regression points at the violated guarantee instead of at a
+fixture diff.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.config import ScaledConfig
+from repro.simulation.results import SimulationResult
+from repro.simulation.runner import (
+    build_access,
+    build_arrivals,
+    build_engine,
+    cached_catalog,
+    run_experiment,
+)
+from repro.sim.rng import RandomStream
+from repro.workload.stations import StationPool
+
+#: The seed's summary columns for a closed striping run — the open
+#: generalisation must not add, drop, or reorder any of them.
+CLOSED_SUMMARY_KEYS = [
+    "technique",
+    "stations",
+    "access_mean",
+    "completed",
+    "throughput_per_hour",
+    "mean_latency_s",
+    "max_latency_s",
+    "mean_concurrent",
+    "max_concurrent",
+    "mean_busy_fraction",
+]
+
+
+def closed_config():
+    return ScaledConfig(scale=50).with_(access_mean=0.2, num_stations=4)
+
+
+class TestClosedBuildUnchanged:
+    def test_closed_config_builds_a_station_pool(self):
+        config = closed_config()
+        catalog = cached_catalog(config)
+        stream = RandomStream(seed=config.seed)
+        access = build_access(config, catalog, stream.fork(1))
+        stations = build_arrivals(config, access, stream)
+        assert type(stations) is StationPool
+        assert len(stations) == config.num_stations
+        assert stations.is_open is False
+        assert stations.deadline_intervals is None
+
+    def test_closed_build_draws_nothing_from_the_run_stream(self):
+        """StationPool construction consumes no variates: the stream
+        state after building arrivals equals the state right after the
+        access fork — adding the open machinery cannot have shifted
+        any closed draw."""
+        config = closed_config()
+        catalog = cached_catalog(config)
+
+        stream = RandomStream(seed=config.seed)
+        build_arrivals(
+            config, build_access(config, catalog, stream.fork(1)), stream
+        )
+        untouched = RandomStream(seed=config.seed)
+        untouched.fork(1)
+        assert (
+            stream._rng.getstate() == untouched._rng.getstate()
+        )
+
+    def test_closed_engine_uses_the_closed_step_path(self):
+        engine = build_engine(closed_config())
+        assert engine._is_open is False
+        # The hot path is the class-level `step`, not an instance
+        # override (no per-interval open bookkeeping).
+        assert "step" not in engine.__dict__
+
+
+class TestClosedResultRowsUnchanged:
+    def test_closed_run_reports_closed_defaults(self):
+        result = run_experiment(closed_config())
+        assert result.arrival == "closed"
+        assert result.offered == 0
+        assert result.blocked == 0
+        assert result.blocking_probability == 0.0
+
+    def test_closed_summary_keys_are_the_seed_columns(self):
+        """Summaries feed the golden fixtures and `--output` exports:
+        closed rows must carry exactly the pre-open columns (plus the
+        policy's own stats), in the same order."""
+        result = run_experiment(closed_config())
+        keys = list(result.summary())
+        policy_keys = list(result.policy_stats)
+        assert keys == CLOSED_SUMMARY_KEYS + policy_keys
+        for open_key in (
+            "arrival",
+            "offered",
+            "blocked",
+            "blocking_probability",
+            "wait_p50_s",
+            "carried_load",
+        ):
+            assert open_key not in keys
+
+    def test_closed_describe_has_no_open_tokens(self):
+        text = closed_config().describe()
+        for token in ("arrival", "rate", "deadline", "burst", "zipf"):
+            assert token not in text
+
+    def test_legacy_payload_round_trips(self):
+        """Cached result payloads written before the open fields
+        existed must still load (with closed defaults)."""
+        result = run_experiment(closed_config())
+        payload = result.to_dict()
+        for key in ("arrival", "offered", "blocked"):
+            payload.pop(key)
+        revived = SimulationResult.from_dict(payload)
+        assert revived.arrival == "closed"
+        assert revived.offered == 0
+        assert revived.blocked == 0
+        assert revived.summary() == result.summary()
+
+    def test_closed_runs_reproducible(self):
+        first = run_experiment(closed_config())
+        second = run_experiment(closed_config())
+        assert first.to_dict() == second.to_dict()
