@@ -17,6 +17,9 @@ Commands
                   progress from the sweep's event stream; ``--json``:
                   the same snapshot for scripts)
 ``sweep-resume``  resume an interrupted sweep from its journal
+``master``        run the distributed-sweep control plane (leases rows
+                  to agents over HTTP; docs/distributed_execution.md)
+``agent``         run one execution agent against a master
 ``obs-report``    summarise a ``--metrics`` file (or convert a trace)
 ``obs-top``       live table of every in-flight sweep's progress
 ``obs-diff``      per-metric deltas between two telemetry sources
@@ -123,6 +126,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="wall-clock bound per run; a worker over it is "
                              "killed and the run retried (default: "
                              "$REPRO_RUN_TIMEOUT or unbounded)")
+    parser.add_argument("--master-url", default=None, metavar="URL",
+                        help="submit sweeps to a running `repro master` "
+                             "instead of executing locally; the master owns "
+                             "the cache and journal "
+                             "(docs/distributed_execution.md)")
     parser.add_argument("--sanitize", default=None,
                         choices=["off", "check", "strict"],
                         help="runtime invariant checks: tally (check) or "
@@ -167,6 +175,7 @@ def _supervision(args) -> Supervision:
     return Supervision(
         run_timeout=getattr(args, "run_timeout", None),
         argv=getattr(args, "_argv", None),
+        master_url=getattr(args, "master_url", None),
     )
 
 
@@ -579,6 +588,58 @@ def cmd_sweep_resume(args) -> int:
     return main(state.argv)
 
 
+def cmd_master(args) -> int:
+    """Run the sweep control plane (lazy import: the cluster package
+    costs local-only users nothing)."""
+    from repro.cluster.master import ClusterMaster
+
+    options = Supervision(
+        run_timeout=args.run_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        heartbeat_interval=min(1.0, args.heartbeat_timeout / 4),
+        argv=args._argv,
+    )
+    master = ClusterMaster(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        options=options,
+        lease_batch=args.batch,
+    )
+    print(f"repro master listening on {master.url}")
+    print(f"cache: {master.cache.root}")
+    print(
+        "point agents at it with "
+        f"`repro agent --master-url {master.url}` and submit sweeps "
+        f"with `--master-url {master.url}`"
+    )
+    master.serve_until_stopped()
+    return 0
+
+
+def cmd_agent(args) -> int:
+    """Run one execution agent against a master."""
+    from repro.cluster.agent import ClusterAgent
+
+    options = Supervision(
+        run_timeout=args.run_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        heartbeat_interval=min(1.0, args.heartbeat_timeout / 4),
+        argv=args._argv,
+    )
+    agent = ClusterAgent(
+        args.master_url,
+        agent_id=args.id,
+        jobs=args.jobs,
+        options=options,
+        max_batch=args.batch,
+    )
+    print(f"repro agent {agent.agent_id} -> {args.master_url}")
+    executed = agent.run(max_idle_s=args.max_idle)
+    print(f"agent {agent.agent_id}: {executed} rows executed")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run a microbenchmark suite paired (occupancy index on vs off).
 
@@ -863,6 +924,63 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline (default: 0.25)")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_master = sub.add_parser(
+        "master",
+        help="run the distributed-sweep control plane",
+        epilog="The master owns the cache, journal, and event bus; "
+               "agents lease rows over HTTP and push results back.  "
+               "Protocol, lease lifecycle, and failure attribution are "
+               "documented in docs/distributed_execution.md.",
+    )
+    p_master.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default: 127.0.0.1)")
+    p_master.add_argument("--port", type=int, default=7077,
+                          help="bind port; 0 picks a free one "
+                               "(default: 7077)")
+    p_master.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="authoritative result cache (default: "
+                               "$REPRO_CACHE_DIR or .repro-cache)")
+    p_master.add_argument("--run-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-run wall-clock bound enforced by "
+                               "agents (default: $REPRO_RUN_TIMEOUT)")
+    p_master.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                          metavar="SECONDS",
+                          help="an agent silent this long is declared dead "
+                               "and its leases requeue (default: 15)")
+    p_master.add_argument("--batch", type=int, default=2, metavar="N",
+                          help="rows per lease batch (default: 2)")
+    p_master.set_defaults(func=cmd_master)
+
+    p_agent = sub.add_parser(
+        "agent",
+        help="run one distributed-sweep execution agent",
+        epilog="Agents run leased rows through the same supervised "
+               "retry/poison machinery as local sweeps and push results "
+               "back to the master — see docs/distributed_execution.md.",
+    )
+    p_agent.add_argument("--master-url", required=True, metavar="URL",
+                         help="the `repro master` to lease work from")
+    p_agent.add_argument("--id", default=None,
+                         help="agent id (default: host-pid-random)")
+    p_agent.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes per batch (default: 1)")
+    p_agent.add_argument("--batch", type=int, default=None, metavar="N",
+                         help="max rows per lease (default: the master's)")
+    p_agent.add_argument("--run-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-run wall-clock bound (default: "
+                              "$REPRO_RUN_TIMEOUT)")
+    p_agent.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="local supervision heartbeat bound "
+                              "(default: 15)")
+    p_agent.add_argument("--max-idle", type=float, default=None,
+                         metavar="SECONDS",
+                         help="exit after polling an idle master this long "
+                              "(default: poll forever)")
+    p_agent.set_defaults(func=cmd_agent)
+
     p_status = sub.add_parser(
         "sweep-status",
         help="summarise the result cache, or follow a sweep live",
@@ -889,8 +1007,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "stream; re-renders until it completes")
     p_status.add_argument("--json", dest="json_out", action="store_true",
                           help="emit the progress snapshot as JSON (schema "
-                               "repro-sweep-progress/1 — the exact document "
-                               "the --follow renderer consumes)")
+                               "repro-sweep-progress/2 — the exact document "
+                               "the --follow renderer consumes; includes "
+                               "per-agent rows for cluster sweeps)")
     p_status.add_argument("--interval", type=float, default=2.0,
                           metavar="SECONDS",
                           help="--follow refresh interval (default: 2)")

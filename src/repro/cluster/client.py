@@ -1,0 +1,101 @@
+"""The ``--master-url`` sweep client: submit, poll, collect.
+
+This is what :func:`repro.exec.executor.execute` delegates to when
+``Supervision.master_url`` is set.  The client serialises the sweep's
+specs to their canonical wire form, submits them to the master —
+which plans against **its** cache and journal, so resubmitting an
+interrupted sweep resumes it — then polls the sweep's state until it
+completes and fetches the settled :class:`RunRecord` rows, in spec
+order, exactly as a local ``execute`` would have returned them.
+
+Ctrl-C mid-poll raises :class:`~repro.errors.SweepInterrupted` with
+the master-side sweep id: the sweep keeps running on the cluster, and
+re-running the same command (or ``repro sweep-resume`` against the
+master's cache) reattaches to it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ClusterError, SweepInterrupted
+from repro.exec.supervisor import GracefulSignals, Supervision
+from repro.cluster.protocol import MasterClient, spec_to_wire
+
+#: Seconds between sweep-state polls.
+POLL_INTERVAL = 0.2
+
+
+def execute_via_master(
+    specs: Sequence[Any],
+    supervision: Supervision,
+    obs=None,
+) -> List[Any]:
+    """Run ``specs`` on the cluster behind ``supervision.master_url``."""
+    from repro.exec.executor import RunRecord  # circular at module level
+
+    client = MasterClient(supervision.master_url)
+    wires = [spec_to_wire(spec) for spec in specs]
+    obs_level = (
+        obs.level.value if obs is not None and obs.enabled else "off"
+    )
+    state = client.submit_sweep(
+        wires, supervision.argv, obs_level=obs_level
+    )
+    sweep_id = str(state.get("sweep_id", ""))
+
+    with GracefulSignals(enabled=supervision.handle_signals) as signals:
+        while not state.get("complete"):
+            if signals.triggered is not None:
+                settled = int(state.get("settled", 0))
+                total = int(state.get("total", len(specs)))
+                raise SweepInterrupted(
+                    sweep_id=sweep_id,
+                    journal_path=f"{client.base_url} (master-side)",
+                    completed=settled,
+                    pending=max(0, total - settled),
+                    signal_name=signals.triggered,
+                )
+            time.sleep(POLL_INTERVAL)
+            state = client.sweep_state(sweep_id)
+
+    reply = client.sweep_records(sweep_id)
+    rows = reply.get("records") or []
+    if len(rows) != len(specs):
+        raise ClusterError(
+            f"master returned {len(rows)} records for a "
+            f"{len(specs)}-spec sweep (incomplete collect?)"
+        )
+    records: List[RunRecord] = []
+    for row in rows:
+        records.append(
+            RunRecord(
+                index=int(row["index"]),
+                kind=str(row["kind"]),
+                label=str(row.get("label", "")),
+                digest=str(row["digest"]),
+                status=str(row["status"]),
+                payload=row.get("payload") or {},
+                error=row.get("error"),
+                duration_s=float(row.get("duration_s", 0.0)),
+                cached=bool(row.get("cached", False)),
+                attempts=int(row.get("attempts", 1)),
+                poisoned=bool(row.get("poisoned", False)),
+                resumed=bool(row.get("resumed", False)),
+                sweep_id=str(row.get("sweep_id", sweep_id)),
+                journal_path=str(row.get("journal_path", "")),
+            )
+        )
+    records.sort(key=lambda record: record.index)
+    return records
+
+
+def sweep_state(master_url: str, sweep_id: str) -> Dict[str, Any]:
+    """One sweep's master-side state (for status tooling)."""
+    return MasterClient(master_url).sweep_state(sweep_id)
+
+
+def master_status(master_url: str) -> Dict[str, Any]:
+    """The master's full status document (agents + sweeps)."""
+    return MasterClient(master_url).status()

@@ -107,3 +107,15 @@ class SweepInterrupted(ReproError):
 
 class LayoutError(ReproError):
     """A data-placement (striping layout) request was invalid."""
+
+
+class ClusterError(ReproError):
+    """Distributed execution failed (see :mod:`repro.cluster`).
+
+    Raised when a master and a client/agent cannot agree: the master
+    is unreachable past the retry budget, speaks a different protocol
+    version, or runs a different code version (``code_salt``) — the
+    last because content-addressed digests computed under different
+    salts can never match, so mixed-version clusters would silently
+    cache-miss forever instead of erroring once, loudly, here.
+    """

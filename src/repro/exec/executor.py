@@ -149,6 +149,167 @@ def _pool_context():
     )
 
 
+def plan_rows(
+    specs: Sequence[RunSpec],
+    digests: Sequence[str],
+    cache: Optional[ResultCache],
+    store: Optional[ObsArtifactStore],
+    settled_prior: Dict[str, Dict[str, Any]],
+    bus: Optional[SweepEventBus],
+    sweep_id: str = "",
+    journal_file: str = "",
+) -> Tuple[Dict[int, RunRecord], Dict[str, List[int]]]:
+    """The lease-aware sweep planner: split specs into settled records
+    and pending work.
+
+    Probes the result cache, the obs artifact store, and the prior
+    journal rows for every spec, emitting the plan-time events
+    (``cache_hit``/``journal_hit``/``artifact_hit``/``artifact_miss``)
+    on ``bus``.  Returns ``(records, pending)`` where ``records`` maps
+    already-settled indices to their :class:`RunRecord` and ``pending``
+    maps each digest still owed to the spec indices wanting it (the
+    first index of each group is the *lead* — the one actually
+    dispatched; duplicates are filled at collect time).
+
+    This is the single planning path for both the local executor and
+    the cluster master (:mod:`repro.cluster.master`), so a sweep
+    executed remotely reuses exactly the local cache/resume semantics.
+    """
+    records: Dict[int, RunRecord] = {}
+    pending: Dict[str, List[int]] = {}
+    emitted: set = set()  # digests already announced on the bus
+    for index, (spec, digest) in enumerate(zip(specs, digests)):
+        stored = cache.get(digest) if cache is not None else None
+        journal_row = settled_prior.get(digest)
+        reusable_journal_row = (
+            journal_row is not None
+            and (store is None or journal_row.get("status") != "ok")
+        )
+        if store is not None and (
+            stored is not None
+            or (journal_row is not None
+                and journal_row.get("status") == "ok")
+        ):
+            if store.get(digest) is None:
+                # The result is cached (or journaled ok) but its
+                # telemetry is not — a pre-store run, or a
+                # corrupt/torn artifact.  Treat the pair as a miss
+                # and re-execute: runs are deterministic, so the
+                # payload cannot change, and the fresh execute
+                # backfills the artifact.
+                if bus is not None and digest not in emitted:
+                    emitted.add(digest)
+                    bus.emit("artifact_miss", digest=digest, index=index)
+                stored = None
+            else:
+                reusable_journal_row = journal_row is not None
+                if bus is not None and digest not in emitted:
+                    emitted.add(digest)
+                    bus.emit("artifact_hit", digest=digest, index=index)
+        if stored is not None:
+            records[index] = RunRecord(
+                index=index,
+                kind=spec.kind,
+                label=spec.describe(),
+                digest=digest,
+                status="ok",
+                payload=stored.get("payload", {}),
+                duration_s=float(stored.get("duration_s", 0.0)),
+                cached=True,
+                sweep_id=sweep_id,
+                journal_path=journal_file,
+            )
+            if bus is not None:
+                bus.emit(
+                    "cache_hit",
+                    digest=digest,
+                    index=index,
+                    label=spec.describe(),
+                )
+        elif reusable_journal_row:
+            row = journal_row
+            records[index] = RunRecord(
+                index=index,
+                kind=spec.kind,
+                label=spec.describe(),
+                digest=digest,
+                status=str(row.get("status", "error")),
+                payload=row.get("payload", {}),
+                error=row.get("error"),
+                duration_s=float(row.get("duration_s", 0.0)),
+                attempts=int(row.get("attempts", 1)),
+                poisoned=bool(row.get("poisoned", False)),
+                resumed=True,
+                sweep_id=sweep_id,
+                journal_path=journal_file,
+            )
+            if bus is not None:
+                bus.emit(
+                    "journal_hit",
+                    digest=digest,
+                    index=index,
+                    status=records[index].status,
+                    poisoned=records[index].poisoned,
+                )
+        else:
+            # Identical specs (same digest) simulate once.
+            pending.setdefault(digest, []).append(index)
+    return records, pending
+
+
+def persist_outcome(
+    spec: RunSpec,
+    index: int,
+    digest: str,
+    outcome: Dict[str, Any],
+    cache: Optional[ResultCache],
+    journal: Optional[SweepJournal],
+    bus: Optional[SweepEventBus],
+) -> None:
+    """Flush one settled outcome to the cache, journal, and event bus.
+
+    The single write path shared by the local executor and the cluster
+    master: whoever settles a run — an in-process worker or a remote
+    agent pushing its result — the row lands in the same stores with
+    the same shape, so caches and journals merge cleanly.
+    """
+    if cache is not None and outcome["status"] == "ok":
+        cache.put(
+            digest,
+            {
+                "kind": spec.kind,
+                "label": spec.describe(),
+                "status": "ok",
+                "payload": outcome["payload"],
+                "duration_s": outcome["duration_s"],
+            },
+        )
+    if journal is not None:
+        journal.record_run(
+            digest,
+            kind=spec.kind,
+            label=spec.describe(),
+            status=outcome["status"],
+            payload=outcome["payload"],
+            error=outcome.get("error"),
+            duration_s=outcome["duration_s"],
+            attempts=outcome.get("attempt", 1),
+            poisoned=outcome.get("poison", False),
+        )
+    if bus is not None:
+        bus.emit(
+            "run_settled",
+            index=index,
+            digest=digest,
+            kind=spec.kind,
+            label=spec.describe(),
+            status=outcome["status"],
+            duration_s=outcome["duration_s"],
+            attempts=outcome.get("attempt", 1),
+            poisoned=outcome.get("poison", False),
+        )
+
+
 def _open_journal(
     supervision: Supervision,
     cache: Optional[ResultCache],
@@ -204,6 +365,15 @@ def execute(
         return []
     supervision = supervision if supervision is not None else Supervision()
 
+    if supervision.master_url:
+        # Distributed execution: submit the plan to a running
+        # ``repro master`` and collect the settled records.  The
+        # cluster modules import lazily — the default local path never
+        # pays for them (see docs/distributed_execution.md).
+        from repro.cluster.client import execute_via_master
+
+        return execute_via_master(specs, supervision, obs=obs)
+
     # A single spec is not a sweep: skip the executor's own run
     # observation so `repro run --metrics` documents stay one-run.
     exec_obs = None
@@ -221,8 +391,6 @@ def execute(
     if cache is not None and obs is not None and obs.enabled and len(specs) > 1:
         store = ObsArtifactStore(cache.root, level=obs.level.value)
 
-    records: Dict[int, RunRecord] = {}
-    emitted: set = set()  # digests already announced on the bus
     with phase("plan"):
         digests = [spec_digest(spec) for spec in specs]
         journal, prior, bus = (
@@ -243,83 +411,10 @@ def execute(
                 argv=list(supervision.argv or []),
             )
         settled_prior = prior.settled_runs() if prior is not None else {}
-        pending: Dict[str, List[int]] = {}
-        for index, (spec, digest) in enumerate(zip(specs, digests)):
-            stored = cache.get(digest) if cache is not None else None
-            journal_row = settled_prior.get(digest)
-            reusable_journal_row = (
-                journal_row is not None
-                and (store is None or journal_row.get("status") != "ok")
-            )
-            if store is not None and (
-                stored is not None
-                or (journal_row is not None
-                    and journal_row.get("status") == "ok")
-            ):
-                if store.get(digest) is None:
-                    # The result is cached (or journaled ok) but its
-                    # telemetry is not — a pre-store run, or a
-                    # corrupt/torn artifact.  Treat the pair as a miss
-                    # and re-execute: runs are deterministic, so the
-                    # payload cannot change, and the fresh execute
-                    # backfills the artifact.
-                    if bus is not None and digest not in emitted:
-                        emitted.add(digest)
-                        bus.emit("artifact_miss", digest=digest, index=index)
-                    stored = None
-                else:
-                    reusable_journal_row = journal_row is not None
-                    if bus is not None and digest not in emitted:
-                        emitted.add(digest)
-                        bus.emit("artifact_hit", digest=digest, index=index)
-            if stored is not None:
-                records[index] = RunRecord(
-                    index=index,
-                    kind=spec.kind,
-                    label=spec.describe(),
-                    digest=digest,
-                    status="ok",
-                    payload=stored.get("payload", {}),
-                    duration_s=float(stored.get("duration_s", 0.0)),
-                    cached=True,
-                    sweep_id=sweep_id,
-                    journal_path=journal_file,
-                )
-                if bus is not None:
-                    bus.emit(
-                        "cache_hit",
-                        digest=digest,
-                        index=index,
-                        label=spec.describe(),
-                    )
-            elif reusable_journal_row:
-                row = journal_row
-                records[index] = RunRecord(
-                    index=index,
-                    kind=spec.kind,
-                    label=spec.describe(),
-                    digest=digest,
-                    status=str(row.get("status", "error")),
-                    payload=row.get("payload", {}),
-                    error=row.get("error"),
-                    duration_s=float(row.get("duration_s", 0.0)),
-                    attempts=int(row.get("attempts", 1)),
-                    poisoned=bool(row.get("poisoned", False)),
-                    resumed=True,
-                    sweep_id=sweep_id,
-                    journal_path=journal_file,
-                )
-                if bus is not None:
-                    bus.emit(
-                        "journal_hit",
-                        digest=digest,
-                        index=index,
-                        status=records[index].status,
-                        poisoned=records[index].poisoned,
-                    )
-            else:
-                # Identical specs (same digest) simulate once.
-                pending.setdefault(digest, []).append(index)
+        records, pending = plan_rows(
+            specs, digests, cache, store, settled_prior, bus,
+            sweep_id=sweep_id, journal_file=journal_file,
+        )
 
     index_digest = {indices[0]: digest for digest, indices in pending.items()}
     tasks = [(indices[0], specs[indices[0]]) for indices in pending.values()]
@@ -329,42 +424,9 @@ def execute(
         """Persist one settled outcome to cache + journal immediately."""
         outcomes[index] = outcome
         digest = index_digest[index]
-        lead = specs[index]
-        if cache is not None and outcome["status"] == "ok":
-            cache.put(
-                digest,
-                {
-                    "kind": lead.kind,
-                    "label": lead.describe(),
-                    "status": "ok",
-                    "payload": outcome["payload"],
-                    "duration_s": outcome["duration_s"],
-                },
-            )
-        if journal is not None:
-            journal.record_run(
-                digest,
-                kind=lead.kind,
-                label=lead.describe(),
-                status=outcome["status"],
-                payload=outcome["payload"],
-                error=outcome.get("error"),
-                duration_s=outcome["duration_s"],
-                attempts=outcome.get("attempt", 1),
-                poisoned=outcome.get("poison", False),
-            )
-        if bus is not None:
-            bus.emit(
-                "run_settled",
-                index=index,
-                digest=digest,
-                kind=lead.kind,
-                label=lead.describe(),
-                status=outcome["status"],
-                duration_s=outcome["duration_s"],
-                attempts=outcome.get("attempt", 1),
-                poisoned=outcome.get("poison", False),
-            )
+        persist_outcome(
+            specs[index], index, digest, outcome, cache, journal, bus
+        )
 
     retries = 0
     with phase("execute"), GracefulSignals(

@@ -129,13 +129,21 @@ class SweepJournal:
 
     def _append(self, record: Dict[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=False) + "\n"
-        # One write + fsync per record: a crash tears at most the last
-        # line, which load_journal() skips.
-        with self.path.open("a") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
+        # A single os.write() on an O_APPEND descriptor per record: a
+        # crash tears at most the last line (which load_journal skips),
+        # and concurrent settlers — the local executor and a cluster
+        # master flushing agent results into the same journal — cannot
+        # interleave bytes *within* a row the way a buffered writer
+        # splitting one line across flushes could.
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def begin(self, argv: Optional[List[str]], digests: List[str]) -> None:
         """Record the sweep's start (idempotent across resumes).
@@ -274,8 +282,14 @@ def find_journal(root: PathLike, sweep_id: str) -> JournalState:
     if len(matches) == 1:
         return matches[0]
     if not matches:
+        known = [state.sweep_id for state in list_journals(root)]
+        hint = (
+            f"; known sweeps: {', '.join(known)}"
+            if known
+            else " (no journals yet)"
+        )
         raise ConfigurationError(
-            f"no sweep journal matches {sweep_id!r} under {root} "
+            f"no sweep journal matches {sweep_id!r} under {root}{hint} "
             "(see `repro sweep-status --journal`)"
         )
     ids = ", ".join(state.sweep_id for state in matches)

@@ -91,6 +91,11 @@ class Supervision:
     #: Install SIGINT/SIGTERM graceful-drain handlers during execute()
     #: (skipped automatically off the main thread).
     handle_signals: bool = True
+    #: Submit the sweep to a running ``repro master`` at this URL
+    #: instead of executing locally (see docs/distributed_execution.md).
+    #: The master owns the cache/journal; ``jobs`` and ``cache`` of the
+    #: local invocation are ignored in that mode.
+    master_url: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.run_timeout is None:

@@ -24,7 +24,25 @@ event                emitted when
 ``run_settled``      a run reaches its final state (ok / error / poison)
 ``heartbeat``        ~1/s while the pool is draining (in-flight counts)
 ``sweep_end``        the sweep completes or is gracefully interrupted
+``agent_registered`` a cluster agent joins the master (cores, host)
+``agent_died``       an agent misses its heartbeat timeout (or leaves)
+``lease_granted``    the master leases a batch of rows to an agent
+``lease_expired``    a dead agent's lease is reclaimed (rows requeue)
+``result_pushed``    an agent pushes a settled row back to the master
 ===================  ====================================================
+
+The five ``agent_*``/``lease_*``/``result_pushed`` events are emitted
+only by a ``repro master`` (see :mod:`repro.cluster.master` and
+docs/distributed_execution.md); purely local sweeps never produce
+them, and :func:`replay_events` folds them into the ``agents`` table
+of the progress snapshot.
+
+Because heartbeats dominate the stream byte count on long sweeps, the
+bus **compacts consecutive heartbeat events on reopen** (keeping the
+latest per emitting source) before appending a new session's events —
+see :func:`compact_heartbeat_lines`.  Compaction never changes what
+:func:`replay_events` folds to, only how many superseded heartbeat
+lines the file retains.
 
 The bus is *advisory*: appends are flushed (so ``tail -f`` and
 ``repro sweep-status --follow`` see them immediately and they survive
@@ -42,6 +60,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,6 +79,79 @@ EVENTS_SUFFIX = ".events.jsonl"
 def events_path(root: PathLike, sweep_id: str) -> Path:
     """The event-stream file for ``sweep_id`` under journal ``root``."""
     return Path(root) / f"{sweep_id}{EVENTS_SUFFIX}"
+
+
+def _heartbeat_source(record: Dict[str, Any]) -> str:
+    """The emitting source of a heartbeat: an agent id or "local"."""
+    agent = record.get("agent")
+    return str(agent) if agent else "local"
+
+
+def compact_heartbeat_lines(lines: List[str]) -> List[str]:
+    """Drop superseded heartbeats from a raw event-stream line list.
+
+    Within each maximal run of *consecutive* heartbeat lines, only the
+    latest heartbeat per emitting source (worker pool or cluster
+    agent) is kept — every earlier one is shadowed by it in any fold.
+    Non-heartbeat lines act as barriers and are preserved byte-for-
+    byte, as are unparsable lines (a torn tail stays torn, exactly
+    where it was).  The result folds to the same
+    :class:`SweepProgress` as the input.
+    """
+    compacted: List[str] = []
+    #: source -> position in ``compacted`` of its pending heartbeat.
+    pending: Dict[str, int] = {}
+    for line in lines:
+        record: Optional[Dict[str, Any]] = None
+        stripped = line.strip()
+        if stripped:
+            try:
+                parsed = json.loads(stripped)
+                if isinstance(parsed, dict):
+                    record = parsed
+            except json.JSONDecodeError:
+                record = None
+        if record is not None and record.get("event") == "heartbeat":
+            source = _heartbeat_source(record)
+            slot = pending.get(source)
+            if slot is not None:
+                compacted[slot] = line  # newer shadows older, in place
+            else:
+                pending[source] = len(compacted)
+                compacted.append(line)
+        else:
+            pending.clear()  # barrier: the run of heartbeats ends here
+            compacted.append(line)
+    return compacted
+
+
+def compact_events_file(path: PathLike) -> bool:
+    """Atomically compact one stream's heartbeats; True if it shrank.
+
+    Rewrites via a temp file + ``os.replace`` so a concurrent reader
+    never sees a half-written stream.  Never raises: the stream is
+    advisory, so any I/O error leaves the file as-is.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError:
+        return False
+    lines = raw.splitlines(keepends=True)
+    compacted = compact_heartbeat_lines(lines)
+    if len(compacted) == len(lines):
+        return False
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        tmp.write_text("".join(compacted))
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+    return True
 
 
 class SweepEventBus:
@@ -91,6 +183,10 @@ class SweepEventBus:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 torn = False
                 if self.path.exists() and self.path.stat().st_size > 0:
+                    # Bound the stream's growth across resumes: drop
+                    # the previous sessions' superseded heartbeats
+                    # before appending new events.
+                    compact_events_file(self.path)
                     # A previous writer may have been killed mid-append;
                     # start a fresh line so its torn tail cannot swallow
                     # this session's first event.
@@ -186,8 +282,10 @@ def settled_events_digest(events: Iterable[Dict[str, Any]]) -> str:
 # Replay: events -> progress snapshot
 # ----------------------------------------------------------------------
 #: Progress-snapshot schema identifier (``sweep-status --json`` emits
-#: it; the ``--follow`` renderer consumes it).
-PROGRESS_SCHEMA = "repro-sweep-progress/1"
+#: it; the ``--follow`` renderer consumes it).  ``/2`` added the
+#: ``agents`` table folded from cluster events (empty for purely
+#: local sweeps) — see docs/sweep_observability.md.
+PROGRESS_SCHEMA = "repro-sweep-progress/2"
 
 
 @dataclass
@@ -216,6 +314,9 @@ class SweepProgress:
     in_flight: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     #: worker id -> {state, task, last_ts} (state: alive | dead).
     workers: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: agent id -> {state, cores, leased, settled, last_ts} folded
+    #: from cluster events; empty for purely local sweeps.
+    agents: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     started_at: float = 0.0
     updated_at: float = 0.0
     #: Wall-clock timestamps of executed (non-cached) settles, for the
@@ -285,6 +386,10 @@ class SweepProgress:
             "workers": {
                 str(worker_id): dict(info)
                 for worker_id, info in sorted(self.workers.items())
+            },
+            "agents": {
+                agent_id: dict(info)
+                for agent_id, info in sorted(self.agents.items())
             },
             "in_flight": [
                 {"index": index, **info}
@@ -404,6 +509,12 @@ def replay_events(events: Iterable[Dict[str, Any]]) -> SweepProgress:
             if ts:
                 progress.settle_times.append(ts)
         elif kind == "heartbeat":
+            agent = record.get("agent")
+            if agent:
+                info = progress.agents.setdefault(
+                    str(agent), {"state": "alive", "leased": 0, "settled": 0}
+                )
+                info["last_ts"] = ts
             for worker_key, task in (record.get("workers") or {}).items():
                 try:
                     worker = int(worker_key)
@@ -413,6 +524,59 @@ def replay_events(events: Iterable[Dict[str, Any]]) -> SweepProgress:
                     worker, {"state": "alive", "task": None}
                 )
                 info.update({"task": task, "last_ts": ts})
+        elif kind == "agent_registered":
+            agent = str(record.get("agent", ""))
+            if agent:
+                progress.agents[agent] = {
+                    "state": "alive",
+                    "cores": int(record.get("cores", 1)),
+                    "host": str(record.get("host", "")),
+                    "leased": 0,
+                    "settled": 0,
+                    "last_ts": ts,
+                }
+        elif kind == "agent_died":
+            agent = str(record.get("agent", ""))
+            if agent:
+                info = progress.agents.setdefault(
+                    agent, {"leased": 0, "settled": 0}
+                )
+                info.update(
+                    {"state": "dead", "last_ts": ts,
+                     "reason": str(record.get("reason", ""))}
+                )
+        elif kind == "lease_granted":
+            agent = str(record.get("agent", ""))
+            indexes = [int(i) for i in record.get("indexes") or []]
+            labels = record.get("labels") or []
+            for position, index in enumerate(indexes):
+                label = labels[position] if position < len(labels) else ""
+                progress.in_flight[index] = {
+                    "label": str(label),
+                    "worker": agent,
+                    "attempt": int(record.get("attempt", 1)),
+                    "since": ts,
+                }
+            if agent:
+                info = progress.agents.setdefault(
+                    agent, {"state": "alive", "leased": 0, "settled": 0}
+                )
+                info["leased"] = int(info.get("leased", 0)) + len(indexes)
+                info["last_ts"] = ts
+        elif kind == "lease_expired":
+            agent = str(record.get("agent", ""))
+            for raw_index in record.get("indexes") or []:
+                progress.in_flight.pop(int(raw_index), None)
+            if agent and agent in progress.agents:
+                progress.agents[agent]["last_ts"] = ts
+        elif kind == "result_pushed":
+            agent = str(record.get("agent", ""))
+            if agent:
+                info = progress.agents.setdefault(
+                    agent, {"state": "alive", "leased": 0, "settled": 0}
+                )
+                info["settled"] = int(info.get("settled", 0)) + 1
+                info["last_ts"] = ts
         elif kind == "sweep_end":
             progress.status = str(record.get("status", "complete"))
             progress.in_flight.clear()
@@ -507,6 +671,19 @@ def render_progress(snapshot: Dict[str, Any]) -> str:
             else:
                 parts.append(f"w{worker_id}:run#{task}")
         lines.append("  workers: " + "  ".join(parts))
+    agents = snapshot.get("agents") or {}
+    if agents:
+        parts = []
+        for agent_id, info in sorted(agents.items()):
+            state = info.get("state", "?")
+            if state != "alive":
+                parts.append(f"{agent_id}:dead")
+            else:
+                parts.append(
+                    f"{agent_id}:{info.get('settled', 0)}"
+                    f"/{info.get('leased', 0)}"
+                )
+        lines.append("  agents (settled/leased): " + "  ".join(parts))
     in_flight = snapshot.get("in_flight") or []
     for entry in in_flight[:8]:
         worker = entry.get("worker")

@@ -1,0 +1,76 @@
+"""Wire-format tests: specs must cross the network digest-intact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.exec.spec import RunSpec, experiment_spec, spec_digest
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    check_handshake,
+    config_from_wire,
+    handshake_document,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.simulation.config import ScaledConfig
+
+
+class TestSpecWire:
+    def test_experiment_spec_round_trip_preserves_digest(self):
+        spec = experiment_spec(
+            ScaledConfig(scale=50).with_(
+                technique="vdr", num_stations=3, access_mean=0.2
+            ),
+            label="wire-test",
+        )
+        wire = json.loads(json.dumps(spec_to_wire(spec)))  # full JSON trip
+        rebuilt = spec_from_wire(wire)
+        assert rebuilt.label == "wire-test"
+        assert rebuilt.config == spec.config
+        assert spec_digest(rebuilt) == spec_digest(spec)
+
+    def test_tuple_fields_survive(self):
+        config = ScaledConfig(scale=50).with_(
+            arrival="mmpp",
+            mmpp_rates=(0.1, 0.9),
+            mmpp_sojourn=(100.0, 50.0),
+            fail_at=((3, 100), (7, 250)),
+            mttr=10.0,
+        )
+        spec = experiment_spec(config)
+        rebuilt = spec_from_wire(json.loads(json.dumps(spec_to_wire(spec))))
+        assert rebuilt.config.mmpp_rates == (0.1, 0.9)
+        assert rebuilt.config.fail_at == ((3, 100), (7, 250))
+        assert spec_digest(rebuilt) == spec_digest(spec)
+
+    def test_configless_spec(self):
+        spec = RunSpec(kind="mixed_media", params={"value": 3}, label="mm")
+        rebuilt = spec_from_wire(json.loads(json.dumps(spec_to_wire(spec))))
+        assert rebuilt.config is None
+        assert rebuilt.params == {"value": 3}
+        assert spec_digest(rebuilt) == spec_digest(spec)
+
+    def test_unknown_config_field_rejected(self):
+        wire = spec_to_wire(experiment_spec(ScaledConfig(scale=50)))
+        wire["config"]["made_up_knob"] = 1
+        with pytest.raises(ClusterError, match="unknown fields"):
+            config_from_wire(wire["config"])
+
+
+class TestHandshake:
+    def test_matching_handshake_accepted(self):
+        assert check_handshake(handshake_document()) is None
+
+    def test_protocol_mismatch_rejected(self):
+        doc = handshake_document()
+        doc["protocol"] = PROTOCOL_VERSION + 1
+        assert "protocol version mismatch" in check_handshake(doc)
+
+    def test_salt_mismatch_rejected(self):
+        doc = handshake_document()
+        doc["salt"] = "deadbeef"
+        assert "salt" in check_handshake(doc)

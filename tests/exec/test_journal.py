@@ -154,6 +154,33 @@ class TestListing:
         with pytest.raises(ConfigurationError):
             find_journal(tmp_path, "zzzz")
 
+    def test_find_journal_no_match_lists_known_sweeps(self, tmp_path):
+        journal = make_journal(tmp_path)
+        other = make_journal(tmp_path, digests=DIGESTS[:1])
+        with pytest.raises(ConfigurationError) as caught:
+            find_journal(tmp_path, "zzzz")
+        message = str(caught.value)
+        assert "known sweeps" in message
+        assert journal.sweep_id in message
+        assert other.sweep_id in message
+
+    def test_find_journal_no_match_empty_root(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no journals yet"):
+            find_journal(tmp_path, "zzzz")
+
+    def test_find_journal_ambiguous_prefix_lists_candidates(self, tmp_path):
+        # Sweep ids are content-derived, so force a shared prefix by
+        # writing journals under chosen ids directly.
+        for sweep_id in ("aaaa1111", "aaaa2222"):
+            SweepJournal(tmp_path, sweep_id).begin(["t"], DIGESTS)
+        with pytest.raises(ConfigurationError) as caught:
+            find_journal(tmp_path, "aaaa")
+        message = str(caught.value)
+        assert "ambiguous" in message
+        assert "aaaa1111" in message and "aaaa2222" in message
+        # A longer, unique prefix resolves.
+        assert find_journal(tmp_path, "aaaa1").sweep_id == "aaaa1111"
+
     def test_unreadable_directory_is_empty(self, tmp_path):
         assert list_journals(tmp_path / "absent") == []
         assert journal_status_rows(tmp_path / "absent") == []

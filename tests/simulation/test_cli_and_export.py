@@ -179,3 +179,42 @@ class TestSweepStatus:
         assert main(["sweep-status", "--cache-dir", str(tmp_path / "c")]) == 0
         out = capsys.readouterr().out
         assert "0 entries, 0 B on disk" in out
+
+    def _write_stream(self, cache_dir, sweep_id):
+        import json
+
+        root = cache_dir / "journals"
+        root.mkdir(parents=True, exist_ok=True)
+        lines = [
+            {"event": "sweep_begin", "ts": 1.0, "sweep_id": sweep_id,
+             "total": 1, "jobs": 1},
+            {"event": "run_settled", "ts": 2.0, "index": 0,
+             "digest": "d0", "status": "ok"},
+            {"event": "sweep_end", "ts": 3.0, "status": "complete",
+             "settled": 1},
+        ]
+        path = root / f"{sweep_id}.events.jsonl"
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+
+    def test_sweep_id_unique_prefix_resolves(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._write_stream(cache_dir, "aaaa1111")
+        self._write_stream(cache_dir, "bbbb2222")
+        code = main(["sweep-status", "aaaa1", "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aaaa1111" in out
+
+    def test_sweep_id_ambiguous_prefix_lists_candidates(
+        self, capsys, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        self._write_stream(cache_dir, "aaaa1111")
+        self._write_stream(cache_dir, "aaaa2222")
+        code = main(["sweep-status", "aaaa", "--cache-dir", str(cache_dir)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "ambiguous" in err
+        assert "aaaa1111" in err and "aaaa2222" in err
