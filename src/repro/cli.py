@@ -20,6 +20,9 @@ Commands
 ``master``        run the distributed-sweep control plane (leases rows
                   to agents over HTTP; docs/distributed_execution.md)
 ``agent``         run one execution agent against a master
+``chaos``         crash-consistency harness: fault every failpoint
+                  site, resume, demand byte-identical convergence
+                  (docs/chaos_testing.md)
 ``obs-report``    summarise a ``--metrics`` file (or convert a trace)
 ``obs-top``       live table of every in-flight sweep's progress
 ``obs-diff``      per-metric deltas between two telemetry sources
@@ -46,6 +49,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import failpoints
 from repro.analysis.reporting import format_table
 from repro.benchmarks import SUITES
 from repro.errors import ConfigurationError, ReproError, SweepInterrupted
@@ -136,6 +140,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="runtime invariant checks: tally (check) or "
                              "fail fast (strict) on conservation violations "
                              "(default: off, zero overhead)")
+    parser.add_argument("--failpoints", default=None, metavar="SPEC",
+                        help="arm deterministic fault-injection sites, "
+                             "e.g. 'journal.append.pre_write=torn:9' "
+                             "(default: $REPRO_FAILPOINTS; see "
+                             "docs/chaos_testing.md)")
     parser.add_argument("--obs-level", default="off",
                         choices=["off", "metrics", "trace"],
                         help="telemetry level (default: off, zero overhead)")
@@ -157,6 +166,19 @@ def _apply_sanitize(args) -> None:
     """
     if getattr(args, "sanitize", None) is not None:
         os.environ[sanitize.SANITIZE_ENV] = args.sanitize
+
+
+def _apply_failpoints(args) -> None:
+    """Arm ``--failpoints`` for this invocation (and its workers).
+
+    Like ``--sanitize``, the spec travels via the environment
+    (``REPRO_FAILPOINTS``) so forked workers and spawned agents
+    inherit it, then re-arms the already-imported registry in this
+    process.
+    """
+    if getattr(args, "failpoints", None) is not None:
+        os.environ[failpoints.FAILPOINTS_ENV] = args.failpoints
+        failpoints.install_from_env()
 
 
 def _cache(args) -> Optional[ResultCache]:
@@ -640,6 +662,43 @@ def cmd_agent(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the crash-consistency harness (lazy import: scenario
+    orchestration costs normal invocations nothing).
+
+    Exit 0 when every scenario converges; exit 3 (the threshold-breach
+    convention shared with bench/obs-diff) when any invariant fails.
+    """
+    from pathlib import Path
+
+    from repro.failpoints.harness import run_chaos
+
+    if args.list:
+        from repro.failpoints.harness import chaos_plan
+
+        rows = [
+            {
+                "scenario": scenario.name,
+                "mode": (
+                    "cluster" if scenario.cluster
+                    else "corruption" if scenario.corrupt_cache
+                    else "local"
+                ),
+                "quick": "yes" if scenario.quick else "",
+                "failpoints": scenario.spec or "(on-disk mutation)",
+            }
+            for scenario in chaos_plan(quick=args.quick)
+        ]
+        print(format_table(rows))
+        return 0
+    failures = run_chaos(
+        quick=args.quick,
+        keep=args.keep,
+        workdir=Path(args.workdir) if args.workdir else None,
+    )
+    return 3 if failures else 0
+
+
 def cmd_bench(args) -> int:
     """Run a microbenchmark suite paired (occupancy index on vs off).
 
@@ -981,6 +1040,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: poll forever)")
     p_agent.set_defaults(func=cmd_agent)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-consistency harness over the failpoint sites",
+        epilog="Each scenario arms one failpoint (crash, torn write, "
+               "ENOSPC, I/O error), runs a reference sweep into a fresh "
+               "cache, resumes fault-free, and asserts byte-identical "
+               "convergence with the baseline.  The failpoint grammar, "
+               "scenario table, and recovery invariants are documented "
+               "in docs/chaos_testing.md; the stores under test in "
+               "docs/resilient_execution.md and "
+               "docs/distributed_execution.md.",
+    )
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="CI-smoke subset: cache, journal, events, "
+                              "one cluster RPC")
+    p_chaos.add_argument("--list", action="store_true",
+                         help="print the scenario table and exit")
+    p_chaos.add_argument("--keep", action="store_true",
+                         help="keep the scratch directory even on success")
+    p_chaos.add_argument("--workdir", default=None, metavar="DIR",
+                         help="scratch directory (default: a fresh "
+                              "temporary directory)")
+    p_chaos.set_defaults(func=cmd_chaos)
+
     p_status = sub.add_parser(
         "sweep-status",
         help="summarise the result cache, or follow a sweep live",
@@ -1128,6 +1211,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args._argv = argv
     _apply_sanitize(args)
     try:
+        # Inside the handler: a malformed --failpoints spec is a user
+        # error (one line, exit 2), not a traceback.
+        _apply_failpoints(args)
         return args.func(args)
     except SweepInterrupted as interrupt:
         # Graceful shutdown: completed rows are flushed; tell the user

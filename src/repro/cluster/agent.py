@@ -32,6 +32,7 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import failpoints
 from repro.errors import ClusterError
 from repro.exec.spec import RunSpec, spec_digest
 from repro.exec.supervisor import (
@@ -42,6 +43,15 @@ from repro.exec.supervisor import (
 )
 from repro.obs.store import ObsArtifactStore
 from repro.cluster.protocol import MasterClient, spec_from_wire
+
+
+#: Failpoint site between executing a leased row and pushing its
+#: result — a crash here loses the agent *after* the work was done;
+#: the master's lease expiry must requeue and recover it.
+SITE_RESULT_PRE_PUSH = failpoints.register_site(
+    "agent.result.pre_push",
+    "row executed, result not yet pushed to the master",
+)
 
 
 def default_agent_id() -> str:
@@ -212,6 +222,7 @@ class ClusterAgent:
         ],
     ) -> None:
         for index, digest, outcome, artifact in settled:
+            failpoints.fire(SITE_RESULT_PRE_PUSH)
             self.client.push_result(
                 self.agent_id, sweep_id, index, digest, outcome, artifact
             )

@@ -19,12 +19,21 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Sequence
 
+from repro import failpoints
 from repro.errors import ClusterError, SweepInterrupted
 from repro.exec.supervisor import GracefulSignals, Supervision
 from repro.cluster.protocol import MasterClient, spec_to_wire
 
 #: Seconds between sweep-state polls.
 POLL_INTERVAL = 0.2
+
+#: Failpoint site after sweep submission: a client crash here leaves
+#: the sweep running master-side; re-running the command must
+#: reattach to it (same sweep id) rather than start over.
+SITE_SWEEP_POST_SUBMIT = failpoints.register_site(
+    "cluster.sweep.post_submit",
+    "sweep submitted to the master, client not yet polling",
+)
 
 
 def execute_via_master(
@@ -44,6 +53,7 @@ def execute_via_master(
         wires, supervision.argv, obs_level=obs_level
     )
     sweep_id = str(state.get("sweep_id", ""))
+    failpoints.fire(SITE_SWEEP_POST_SUBMIT)
 
     with GracefulSignals(enabled=supervision.handle_signals) as signals:
         while not state.get("complete"):

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import failpoints
 from repro.errors import ClusterError
 from repro.exec.cache import ResultCache
 from repro.exec.executor import RunRecord, persist_outcome, plan_rows
@@ -53,6 +54,14 @@ from repro.cluster.protocol import (
     spec_from_wire,
 )
 from repro.cluster.registry import ClusterRegistry
+
+#: Failpoint site in the result-push handler, before any sweep state
+#: mutates — an injected error becomes an HTTP 500 the pushing
+#: agent's transport retries through.
+SITE_RESULT_PRE_PERSIST = failpoints.register_site(
+    "master.result.pre_persist",
+    "result push received, nothing persisted yet",
+)
 
 #: How often agents should poll for leases when idle, seconds.
 DEFAULT_POLL_INTERVAL = 0.2
@@ -222,6 +231,9 @@ class MasterSweep:
         self.leased.pop(index, None)
         self.queue = [row for row in self.queue if row.index != index]
         digest = self.digests[index]
+        # Before any state mutates: an error injected here turns into
+        # a 500, and the agent's retried push must land cleanly.
+        failpoints.fire(SITE_RESULT_PRE_PERSIST)
         if self.store is not None and artifact is not None:
             runs = artifact.get("runs")
             if isinstance(runs, list) and outcome.get("status") == "ok":

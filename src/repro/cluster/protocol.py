@@ -20,17 +20,31 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
+from repro import failpoints
 from repro.errors import ClusterError
 from repro.exec.hashing import canonical, code_salt
+from repro.exec.retry import RetryPolicy, retry_call
 from repro.exec.spec import RunSpec
 from repro.hardware.disk import DiskModel
 from repro.media.tape_layout import TapeOrder
 from repro.simulation.config import SimulationConfig
+
+#: Failpoint sites bracketing one HTTP exchange.  ``post_send`` fires
+#: after the master has processed the request but before the client
+#: sees the reply — an injected error there simulates a dropped
+#: response and exercises endpoint idempotency under client retry.
+SITE_CLIENT_PRE_SEND = failpoints.register_site(
+    "cluster.client.pre_send",
+    "request built, not yet sent to the master",
+)
+SITE_CLIENT_POST_SEND = failpoints.register_site(
+    "cluster.client.post_send",
+    "master replied, client has not yet returned the response",
+)
 
 #: Bumped on incompatible wire-format changes; exchanged at register
 #: and submit time.
@@ -115,6 +129,10 @@ def check_handshake(doc: Dict[str, Any]) -> Optional[str]:
     return None
 
 
+class _RetryableTransport(Exception):
+    """A transport failure worth another attempt (5xx, connection)."""
+
+
 class MasterClient:
     """A retrying JSON-over-HTTP client for one master URL.
 
@@ -136,6 +154,12 @@ class MasterClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
+        #: The shared stack-wide retry contract (repro.exec.retry):
+        #: every transport retry — agent pushes included — backs off
+        #: through this policy.
+        self.policy = RetryPolicy(
+            max_attempts=retries, backoff_base=backoff_base, backoff_cap=5.0
+        )
 
     def __repr__(self) -> str:
         return f"<MasterClient {self.base_url}>"
@@ -150,8 +174,8 @@ class MasterClient:
             if payload is None
             else json.dumps(payload).encode("utf-8")
         )
-        last_error: Optional[str] = None
-        for attempt in range(1, self.retries + 1):
+
+        def once() -> Dict[str, Any]:
             request = urllib.request.Request(
                 url,
                 data=body,
@@ -159,10 +183,16 @@ class MasterClient:
                 method="GET" if body is None else "POST",
             )
             try:
+                failpoints.fire(SITE_CLIENT_PRE_SEND)
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
                 ) as response:
-                    return json.loads(response.read().decode("utf-8"))
+                    reply = json.loads(response.read().decode("utf-8"))
+                # An error injected here lands after the master
+                # processed the request: the retry that follows is a
+                # duplicate delivery the endpoint must tolerate.
+                failpoints.fire(SITE_CLIENT_POST_SEND)
+                return reply
             except urllib.error.HTTPError as error:
                 detail = ""
                 try:
@@ -178,17 +208,21 @@ class MasterClient:
                         f"master rejected {endpoint}: "
                         f"{detail or error.reason} (HTTP {error.code})"
                     ) from None
-                last_error = f"HTTP {error.code}: {detail or error.reason}"
+                raise _RetryableTransport(
+                    f"HTTP {error.code}: {detail or error.reason}"
+                ) from None
             except (urllib.error.URLError, OSError, ValueError) as error:
-                last_error = str(error)
-            if attempt < self.retries:
-                time.sleep(
-                    min(5.0, self.backoff_base * (2 ** (attempt - 1)))
-                )
-        raise ClusterError(
-            f"master at {self.base_url} unreachable after "
-            f"{self.retries} attempts ({endpoint}): {last_error}"
-        )
+                raise _RetryableTransport(str(error)) from None
+
+        try:
+            return retry_call(
+                once, self.policy, retryable=(_RetryableTransport,)
+            )
+        except _RetryableTransport as error:
+            raise ClusterError(
+                f"master at {self.base_url} unreachable after "
+                f"{self.retries} attempts ({endpoint}): {error}"
+            ) from None
 
     # -- agent side ----------------------------------------------------
     def register(

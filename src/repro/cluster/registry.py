@@ -22,8 +22,19 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import failpoints
+
 #: Lease key: (sweep_id, spec index).
 LeaseKey = Tuple[str, int]
+
+#: Failpoint site at the top of the expiry scan — a ``delay:<ms>``
+#: here widens the race between a slow agent's late push and the
+#: master declaring it dead, which the requeue-withdrawal path in
+#: :meth:`~repro.cluster.master.MasterSweep.push_result` must absorb.
+SITE_REGISTRY_PRE_EXPIRE = failpoints.register_site(
+    "master.registry.pre_expire",
+    "before the heartbeat-timeout expiry scan",
+)
 
 
 @dataclass
@@ -139,6 +150,7 @@ class ClusterRegistry:
         master's sweep table) requeues or settles each lease and emits
         the ``agent_died``/``lease_expired`` events.
         """
+        failpoints.fire(SITE_REGISTRY_PRE_EXPIRE)
         died: List[Tuple[AgentInfo, List[LeaseKey]]] = []
         with self._lock:
             for info in self._agents.values():

@@ -40,6 +40,7 @@ from repro.exec.journal import (
     load_journal,
     sweep_id_for,
 )
+from repro.exec.retry import RetryPolicy, retry_call
 from repro.exec.spec import RunSpec, derive_seed, experiment_spec, spec_digest
 from repro.exec.supervisor import Supervision, SupervisedPool
 
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "JournalState",
     "ResultCache",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
     "SupervisedPool",
@@ -69,6 +71,7 @@ __all__ = [
     "records_to_results",
     "require_ok",
     "resolve_cache_dir",
+    "retry_call",
     "spec_digest",
     "sweep_id_for",
 ]

@@ -10,6 +10,19 @@ Records are written atomically (temp file + rename) so a crashed or
 parallel writer never leaves a torn entry; unreadable entries are
 treated as misses and overwritten.  Only successful runs are cached —
 failures always re-execute.
+
+Integrity: every record carries a self-describing ``checksum`` field
+(SHA-256 over the canonical JSON of the rest of the record).  A
+record whose checksum does not verify — corrupt-but-still-valid JSON,
+which the parse-based guards cannot catch — is moved to
+``<root>/quarantine/`` and treated as a miss, so a poisoned cache can
+degrade a sweep to re-execution but can never serve wrong bytes.
+
+Robustness: a full disk (ENOSPC/EDQUOT) disables further writes with
+a single warning instead of failing the sweep — the cache is an
+accelerator, never a dependency.  Crash behaviour at the atomic-write
+boundary is testable via the ``cache.write.*`` failpoints
+(:mod:`repro.failpoints`).
 """
 
 from __future__ import annotations
@@ -19,6 +32,24 @@ import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro import failpoints
+from repro.integrity import (
+    out_of_space,
+    quarantine_file,
+    record_checksum,
+    warn_degraded,
+)
+
+#: Failpoint sites at the atomic-write choreography.
+SITE_WRITE_PRE_RENAME = failpoints.register_site(
+    "cache.write.pre_rename",
+    "after the cache temp file is written, before os.replace",
+)
+SITE_WRITE_POST_RENAME = failpoints.register_site(
+    "cache.write.post_rename",
+    "after the cache record is atomically in place",
+)
 
 PathLike = Union[str, Path]
 
@@ -42,6 +73,9 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        #: Set when the disk filled up — writes become no-ops.
+        self.disabled = False
 
     def __repr__(self) -> str:
         return f"<ResultCache root={str(self.root)!r} entries={len(self)}>"
@@ -84,23 +118,60 @@ class ResultCache:
         if not isinstance(record, dict) or record.get("digest") != digest:
             self.misses += 1
             return None
+        checksum = record.get("checksum")
+        if not isinstance(checksum, str) or checksum != record_checksum(
+            record
+        ):
+            # Valid JSON, wrong bytes: never serve it.  Preserve the
+            # evidence and let the row re-execute.
+            self.misses += 1
+            self.quarantined += 1
+            quarantine_file(self.root, path)
+            return None
         self.hits += 1
         return record
 
     def put(self, digest: str, record: Dict[str, Any]) -> Path:
-        """Atomically persist ``record`` under ``digest``."""
+        """Atomically persist ``record`` under ``digest``.
+
+        Best-effort: an out-of-space error disables the cache for the
+        rest of the process (one warning) rather than failing the
+        sweep.  Other I/O errors still propagate.
+        """
         path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        if self.disabled:
+            return path
         payload = dict(record)
         payload["digest"] = digest
         payload.setdefault("created_at", time.time())
+        payload["checksum"] = record_checksum(payload)
+        # Insertion order is part of the payload: a cache hit must
+        # reproduce the original run's serialization byte-for-byte.
+        data = (json.dumps(payload) + "\n").encode("utf-8")
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with temp.open("w") as handle:
-            # Insertion order is part of the payload: a cache hit must
-            # reproduce the original run's serialization byte-for-byte.
-            json.dump(payload, handle)
-            handle.write("\n")
-        os.replace(temp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with temp.open("wb") as handle:
+                handle.write(data)
+            failpoints.fire(
+                SITE_WRITE_PRE_RENAME,
+                data=data,
+                writer=temp.write_bytes,
+            )
+            os.replace(temp, path)
+            failpoints.fire(SITE_WRITE_POST_RENAME)
+        except OSError as error:
+            if not out_of_space(error):
+                raise
+            self.disabled = True
+            warn_degraded(
+                "result cache",
+                f"{error} — continuing without caching new results",
+            )
+            try:
+                temp.unlink()
+            except OSError:
+                pass
         return path
 
     def entries(self) -> Iterator[Dict[str, Any]]:

@@ -45,6 +45,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import failpoints
 from repro.errors import ConfigurationError, ReproError, SweepInterrupted
 from repro.exec.cache import ResultCache
 from repro.exec.journal import (
@@ -64,6 +65,16 @@ from repro.exec.supervisor import (
 from repro.obs.events import EVENTS_VERSION, SweepEventBus
 from repro.obs.store import ObsArtifactStore
 from repro.simulation.results import SimulationResult
+
+#: Failpoint sites bracketing the shared settle/persist path.
+SITE_PERSIST_PRE = failpoints.register_site(
+    "executor.persist.pre",
+    "a run settled, nothing flushed yet (cache/journal/bus pending)",
+)
+SITE_PERSIST_POST = failpoints.register_site(
+    "executor.persist.post",
+    "one settled row fully flushed to cache, journal, and bus",
+)
 
 #: Failure summaries embedded in a SweepFailure message (the full
 #: records remain on ``.failures``).
@@ -273,6 +284,7 @@ def persist_outcome(
     agent pushing its result — the row lands in the same stores with
     the same shape, so caches and journals merge cleanly.
     """
+    failpoints.fire(SITE_PERSIST_PRE)
     if cache is not None and outcome["status"] == "ok":
         cache.put(
             digest,
@@ -308,6 +320,7 @@ def persist_outcome(
             attempts=outcome.get("attempt", 1),
             poisoned=outcome.get("poison", False),
         )
+    failpoints.fire(SITE_PERSIST_POST)
 
 
 def _open_journal(

@@ -36,10 +36,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro import failpoints
 from repro.errors import ConfigurationError
 from repro.exec.hashing import digest_document
+from repro.integrity import out_of_space, warn_degraded
 
 PathLike = Union[str, Path]
+
+#: Failpoint sites bracketing the single-write append.
+SITE_APPEND_PRE_WRITE = failpoints.register_site(
+    "journal.append.pre_write",
+    "journal fd open, record not yet written (torn-capable)",
+)
+SITE_APPEND_POST_WRITE = failpoints.register_site(
+    "journal.append.post_write",
+    "journal record written and fsynced",
+)
 
 #: Journal format version (bumped on incompatible record changes).
 JOURNAL_VERSION = 1
@@ -123,27 +135,71 @@ class SweepJournal:
     def __init__(self, root: PathLike, sweep_id: str) -> None:
         self.sweep_id = sweep_id
         self.path = journal_path(root, sweep_id)
+        #: Set when the disk filled up — appends become no-ops.
+        self.dead = False
+        self._tail_checked = False
 
     def __repr__(self) -> str:
         return f"<SweepJournal {self.sweep_id} at {self.path}>"
 
-    def _append(self, record: Dict[str, Any]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
-        # A single os.write() on an O_APPEND descriptor per record: a
-        # crash tears at most the last line (which load_journal skips),
-        # and concurrent settlers — the local executor and a cluster
-        # master flushing agent results into the same journal — cannot
-        # interleave bytes *within* a row the way a buffered writer
-        # splitting one line across flushes could.
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
+    def _repair_tail(self, fd: int) -> None:
+        """Terminate a torn tail before the session's first append.
+
+        A crash mid-append can leave the file ending in a partial
+        record with no newline.  Appending the next record directly
+        after it would glue two records onto one unparsable line —
+        losing the *new* record too.  Writing a lone newline first
+        confines the damage to the already-lost fragment.
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
         try:
-            os.write(fd, line)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+            size = os.fstat(fd).st_size
+            if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                os.write(fd, b"\n")
+        except OSError:
+            pass  # pread unsupported or racing writer: appends still work
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self.dead:
+            return
+        line = (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A single os.write() on an O_APPEND descriptor per record: a
+            # crash tears at most the last line (which load_journal skips),
+            # and concurrent settlers — the local executor and a cluster
+            # master flushing agent results into the same journal — cannot
+            # interleave bytes *within* a row the way a buffered writer
+            # splitting one line across flushes could.
+            fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                self._repair_tail(fd)
+                failpoints.fire(
+                    SITE_APPEND_PRE_WRITE,
+                    data=line,
+                    writer=lambda prefix: (
+                        os.write(fd, prefix),
+                        os.fsync(fd),
+                    ),
+                )
+                os.write(fd, line)
+                os.fsync(fd)
+                failpoints.fire(SITE_APPEND_POST_WRITE)
+            finally:
+                os.close(fd)
+        except OSError as error:
+            if not out_of_space(error):
+                raise
+            self.dead = True
+            warn_degraded(
+                "sweep journal",
+                f"{error} — sweep continues without journaling "
+                f"(resume will rely on the result cache)",
+            )
 
     def begin(self, argv: Optional[List[str]], digests: List[str]) -> None:
         """Record the sweep's start (idempotent across resumes).

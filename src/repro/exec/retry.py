@@ -1,0 +1,86 @@
+"""One retry/backoff policy for every transport in the stack.
+
+Before this module, three retry ladders had grown independently: the
+supervisor's attempt loop (:class:`~repro.exec.supervisor
+.Supervision`), the cluster client's HTTP transport
+(:class:`~repro.cluster.protocol.MasterClient`, which also carries
+every agent result push), and the agent's register-after-rejection
+path.  They agreed in spirit — bounded attempts, exponential backoff —
+but not in contract: one jittered, one didn't; one capped at 30 s, one
+at a hard-coded 5 s.  :class:`RetryPolicy` is the single source of
+both numbers and shape; :func:`retry_call` is the loop for callers
+that retry a whole callable rather than managing attempts themselves.
+
+The shared contract:
+
+* attempts are 1-based and bounded by ``max_attempts`` — attempt N
+  failing with ``N == max_attempts`` re-raises;
+* the delay before attempt N+1 is ``min(cap, base * 2**(N-1))`` plus
+  uniform jitter of up to ``jitter`` times that delay, so synchronised
+  retry storms decorrelate;
+* jitter comes from :mod:`random` (wall-clock scheduling, like the
+  supervisor's heartbeats) — it never touches simulation RNG streams,
+  so retry timing can never perturb results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered-exponential-backoff parameters, shared stack-wide."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    #: Fraction of the deterministic delay added as uniform jitter.
+    jitter: float = 0.25
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed (1-based) ``attempt``."""
+        base = min(
+            self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1))
+        )
+        return base + random.uniform(0.0, self.jitter * base)
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when failed ``attempt`` leaves budget for another."""
+        return attempt < self.max_attempts
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retryable: Tuple[Type[BaseException], ...] = (Exception,),
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` under ``policy``; re-raise once attempts exhaust.
+
+    Only ``retryable`` exceptions consume attempts — anything else
+    propagates immediately (the 4xx-vs-5xx split in the cluster
+    client, poison-vs-transient in the supervisor).  ``on_retry`` is
+    told ``(failed_attempt, upcoming_delay, error)`` before each
+    sleep, for logging.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as error:
+            if not policy.should_retry(attempt):
+                raise
+            delay = policy.delay(attempt)
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            sleep(delay)

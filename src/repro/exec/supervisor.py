@@ -38,7 +38,6 @@ from __future__ import annotations
 import json
 import os
 import queue
-import random
 import signal
 import tempfile
 import threading
@@ -48,11 +47,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import failpoints
 from repro.errors import ConfigurationError, ReproError
+from repro.exec.retry import RetryPolicy
 from repro.exec.spec import RunSpec, run_spec
 
 #: Environment default for ``Supervision.run_timeout`` (seconds).
 RUN_TIMEOUT_ENV = "REPRO_RUN_TIMEOUT"
+
+#: Failpoint site in the worker loop: the outcome is computed but not
+#: yet handed back — a crash here exercises dead-worker attribution
+#: and the retry ladder (pair with ``!once`` so the replacement
+#: worker survives).
+SITE_WORKER_PRE_RESULT = failpoints.register_site(
+    "worker.result.pre_put",
+    "worker computed an outcome, not yet pushed to the results queue",
+)
 
 
 @dataclass
@@ -111,15 +121,24 @@ class Supervision:
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
 
+    def retry_policy(self) -> RetryPolicy:
+        """This sweep's knobs as the stack-wide retry contract."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+        )
+
     def backoff_delay(self, attempt: int) -> float:
         """Delay before attempt ``attempt + 1`` (exponential + jitter).
 
         Jitter decorrelates retries across workers; it perturbs only
         *when* a retry runs, never *what* it computes, so results stay
-        byte-identical.
+        byte-identical.  Delegates to the shared
+        :class:`~repro.exec.retry.RetryPolicy` so the supervisor, the
+        cluster transport, and agent pushes back off identically.
         """
-        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
-        return delay + random.uniform(0.0, 0.25 * delay)
+        return self.retry_policy().delay(attempt)
 
 
 def classify_failure(error: BaseException) -> bool:
@@ -221,6 +240,7 @@ def _supervised_worker(
                 "attempt": attempt,
             }
         state["task"] = None
+        failpoints.fire(SITE_WORKER_PRE_RESULT)
         results.put(outcome)
     stop_beating.set()
 

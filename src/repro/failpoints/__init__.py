@@ -1,0 +1,438 @@
+"""Deterministic failpoints for the execution stack.
+
+A *failpoint* is a named site at an I/O boundary — ``cache.write
+.pre_rename``, ``journal.append.post_write``, ``events.emit`` — where
+a fault can be injected on demand: a hard crash, a partial (torn)
+write, an exception of a chosen kind, a disk-full error, or a delay.
+Sites are declared where they live (``register_site`` at module
+import) and triggered inline with :func:`fire`, which is a single
+dict lookup when no failpoints are armed — the zero-cost-when-off
+contract that lets every write path carry its sites permanently.
+
+Activation is environment-driven so forked/spawned workers and
+subprocesses inherit it::
+
+    REPRO_FAILPOINTS="journal.append.pre_write=torn:9"
+    REPRO_FAILPOINTS="cache.write.pre_rename=crash@2;events.emit=delay:5"
+
+Grammar (rules joined with ``;``)::
+
+    site=action[@hit][%probability][!once]
+
+    action ::= crash | error:<kind> | torn:<bytes> | delay:<ms> | enospc
+    kind   ::= io | transient | poison | enospc | edquot
+
+Scheduling is replayable by construction: ``@hit`` fires on exactly
+the N-th evaluation of the site in a process (default ``@1``);
+``%probability`` draws each evaluation from a dedicated per-site RNG
+substream seeded by ``REPRO_FAILPOINTS_SEED`` (the same
+hash-the-stream-name construction as :func:`repro.sim.rng
+.substream_salt`), so a chaos run is reproduced by replaying the same
+spec and seed.  ``!once`` adds a cross-process gate (an ``O_EXCL``
+token file under ``REPRO_FAILPOINTS_GATE``) so a site reached by many
+workers fires in exactly one of them.
+
+Actions:
+
+``crash``
+    ``os._exit`` with :data:`CRASH_EXIT_CODE` — no ``atexit``, no
+    ``finally`` blocks, the closest a test gets to pulling the plug.
+``torn:<bytes>``
+    For write sites that pass ``data``/``writer`` to :func:`fire`:
+    write only the first N bytes of the payload, then crash — leaves
+    a mid-record tear for recovery code to survive.  Sites without a
+    writer degrade to ``crash``.
+``error:<kind>``
+    Raise a mapped exception: ``io`` → ``OSError(EIO)``,
+    ``transient`` → :class:`InjectedTransientError` (retried by the
+    supervisor), ``poison`` → :class:`InjectedFault` (a
+    :class:`~repro.errors.ReproError`: deterministic, not retried),
+    ``enospc``/``edquot`` → the matching ``OSError``.
+``enospc``
+    Shorthand for ``error:enospc``.
+``delay:<ms>``
+    Sleep — for widening race windows.
+
+See ``docs/chaos_testing.md`` for the harness built on top.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAILPOINTS_ENV",
+    "GATE_ENV",
+    "SEED_ENV",
+    "InjectedFault",
+    "InjectedTransientError",
+    "active",
+    "discover_sites",
+    "fire",
+    "install",
+    "install_from_env",
+    "register_site",
+    "registered_sites",
+]
+
+#: Environment variable holding the failpoint spec string.
+FAILPOINTS_ENV = "REPRO_FAILPOINTS"
+#: Seed for probability-scheduled rules (int, default 0).
+SEED_ENV = "REPRO_FAILPOINTS_SEED"
+#: Directory for ``!once`` cross-process gate tokens.
+GATE_ENV = "REPRO_FAILPOINTS_GATE"
+
+#: Exit status of the ``crash``/``torn`` actions — distinguishable
+#: from every legitimate repro exit code (0, 1, 2, 3, 130).
+CRASH_EXIT_CODE = 86
+
+#: Action names accepted by the spec grammar.
+ACTIONS = ("crash", "error", "torn", "delay", "enospc")
+
+#: ``error:<kind>`` vocabulary.
+ERROR_KINDS = ("io", "transient", "poison", "enospc", "edquot")
+
+
+class InjectedFault(ReproError):
+    """A deterministic injected failure (classified as poison)."""
+
+
+class InjectedTransientError(RuntimeError):
+    """A transient injected failure (retried by supervision)."""
+
+
+# -- site registry -----------------------------------------------------
+
+_SITES: Dict[str, str] = {}
+
+#: Modules that declare failpoint sites at import time; imported by
+#: :func:`discover_sites` so the chaos harness can enumerate every
+#: site without guessing.
+SITE_MODULES = (
+    "repro.exec.cache",
+    "repro.exec.journal",
+    "repro.exec.executor",
+    "repro.exec.supervisor",
+    "repro.obs.events",
+    "repro.obs.store",
+    "repro.cluster.protocol",
+    "repro.cluster.client",
+    "repro.cluster.agent",
+    "repro.cluster.master",
+    "repro.cluster.registry",
+)
+
+
+def register_site(name: str, description: str = "") -> str:
+    """Declare a failpoint site; returns ``name`` for reuse."""
+    _SITES[name] = description
+    return name
+
+
+def registered_sites() -> Dict[str, str]:
+    """Sites registered so far (import modules to populate)."""
+    return dict(_SITES)
+
+
+def discover_sites() -> Dict[str, str]:
+    """Import every site-declaring module, then list all sites."""
+    import importlib
+
+    for module in SITE_MODULES:
+        importlib.import_module(module)
+    return registered_sites()
+
+
+# -- spec parsing ------------------------------------------------------
+
+@dataclass
+class Rule:
+    """One armed failpoint: parsed action plus scheduling state."""
+
+    site: str
+    action: str
+    #: error kind, torn byte count, or delay milliseconds.
+    arg: Optional[object] = None
+    #: Fire on exactly this evaluation (1-based); default 1.
+    hit: Optional[int] = None
+    #: Fire each evaluation with this probability (RNG-scheduled).
+    probability: Optional[float] = None
+    #: Cross-process once-only gate (token file under GATE_ENV).
+    once: bool = False
+    hits: int = 0
+    stream: Optional[random.Random] = None
+
+    def describe(self) -> str:
+        action = self.action
+        if self.arg is not None:
+            arg = self.arg
+            if isinstance(arg, float) and arg == int(arg):
+                arg = int(arg)
+            action = f"{action}:{arg}"
+        if self.probability is not None:
+            schedule = f"%{self.probability}"
+        elif self.hit is not None:
+            schedule = f"@{self.hit}"
+        else:
+            schedule = ""  # a delay rule fires on every evaluation
+        return f"{self.site}={action}{schedule}{'!once' if self.once else ''}"
+
+
+def _substream_seed(seed: int, site: str) -> int:
+    """Per-site RNG seed: same construction as rng.substream_salt."""
+    digest = hashlib.sha256(f"{seed}/failpoints/{site}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def _parse_rule(text: str, seed: int) -> Rule:
+    if "=" not in text:
+        raise ConfigurationError(
+            f"failpoint rule {text!r}: expected site=action"
+        )
+    site, _, action_text = text.partition("=")
+    site = site.strip()
+    action_text = action_text.strip()
+    once = False
+    if action_text.endswith("!once"):
+        once = True
+        action_text = action_text[: -len("!once")]
+    hit: Optional[int] = None
+    probability: Optional[float] = None
+    if "%" in action_text:
+        action_text, _, prob_text = action_text.partition("%")
+        try:
+            probability = float(prob_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: bad probability "
+                f"{prob_text!r}"
+            ) from None
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: probability must be in "
+                f"(0, 1], got {probability}"
+            )
+    if "@" in action_text:
+        if probability is not None:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: @hit and %probability "
+                f"are mutually exclusive"
+            )
+        action_text, _, hit_text = action_text.partition("@")
+        try:
+            hit = int(hit_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: bad hit count "
+                f"{hit_text!r}"
+            ) from None
+        if hit < 1:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: hit count must be >= 1"
+            )
+    name, _, arg_text = action_text.partition(":")
+    name = name.strip()
+    if name not in ACTIONS:
+        raise ConfigurationError(
+            f"failpoint rule for {site!r}: unknown action {name!r} "
+            f"(expected one of {', '.join(ACTIONS)})"
+        )
+    arg: Optional[object] = None
+    if name == "error":
+        kind = arg_text.strip()
+        if kind not in ERROR_KINDS:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: unknown error kind "
+                f"{kind!r} (expected one of {', '.join(ERROR_KINDS)})"
+            )
+        arg = kind
+    elif name == "torn":
+        try:
+            arg = int(arg_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: torn needs a byte "
+                f"count, got {arg_text!r}"
+            ) from None
+        if arg < 0:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: torn byte count must "
+                f"be >= 0"
+            )
+    elif name == "delay":
+        try:
+            arg = float(arg_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"failpoint rule for {site!r}: delay needs "
+                f"milliseconds, got {arg_text!r}"
+            ) from None
+    elif arg_text:
+        raise ConfigurationError(
+            f"failpoint rule for {site!r}: action {name!r} takes no "
+            f"argument"
+        )
+    if name != "delay" and probability is None and hit is None:
+        hit = 1
+    if once and not os.environ.get(GATE_ENV):
+        raise ConfigurationError(
+            f"failpoint rule for {site!r}: !once needs {GATE_ENV} to "
+            f"point at a shared gate directory"
+        )
+    rule = Rule(
+        site=site,
+        action=name,
+        arg=arg,
+        hit=hit,
+        probability=probability,
+        once=once,
+    )
+    if probability is not None:
+        rule.stream = random.Random(_substream_seed(seed, site))
+    return rule
+
+
+def parse_spec(spec: str, seed: int = 0) -> Dict[str, Rule]:
+    """Parse a ``REPRO_FAILPOINTS`` spec string into rules by site."""
+    rules: Dict[str, Rule] = {}
+    for chunk in spec.replace(",", ";").split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        rule = _parse_rule(chunk, seed)
+        rules[rule.site] = rule
+    return rules
+
+
+# -- runtime -----------------------------------------------------------
+
+_ACTIVE: Dict[str, Rule] = {}
+_LOCK = threading.Lock()
+
+# Test hook: the crash primitive (os._exit in production).
+_exit: Callable[[int], None] = os._exit
+
+
+def install(spec: Optional[str] = None, seed: Optional[int] = None) -> None:
+    """Arm failpoints from ``spec`` (or the environment).
+
+    Passing ``spec=None`` re-reads :data:`FAILPOINTS_ENV`; an empty
+    spec disarms everything.  Mutates the active table in place so
+    every module that imported us sees the change.
+    """
+    if spec is None:
+        spec = os.environ.get(FAILPOINTS_ENV, "")
+    if seed is None:
+        seed = int(os.environ.get(SEED_ENV, "0") or "0")
+    rules = parse_spec(spec, seed) if spec else {}
+    with _LOCK:
+        _ACTIVE.clear()
+        _ACTIVE.update(rules)
+
+
+def install_from_env() -> None:
+    """(Re)arm from ``REPRO_FAILPOINTS`` — called at import."""
+    install(None)
+
+
+def active() -> bool:
+    """True when any failpoint is armed in this process."""
+    return bool(_ACTIVE)
+
+
+def active_rules() -> List[Rule]:
+    """The armed rules (for status/diagnostic output)."""
+    with _LOCK:
+        return list(_ACTIVE.values())
+
+
+def _claim_gate(site: str) -> bool:
+    """Atomically claim the cross-process once-token for ``site``."""
+    gate_dir = os.environ.get(GATE_ENV)
+    if not gate_dir:
+        return True
+    os.makedirs(gate_dir, exist_ok=True)
+    token = os.path.join(gate_dir, site.replace("/", "_") + ".fired")
+    try:
+        fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.write(fd, f"{os.getpid()}\n".encode())
+    os.close(fd)
+    return True
+
+
+def _trigger(
+    rule: Rule,
+    data: Optional[bytes],
+    writer: Optional[Callable[[bytes], None]],
+) -> None:
+    site = rule.site
+    if rule.action == "delay":
+        time.sleep(float(rule.arg or 0.0) / 1000.0)
+        return
+    if rule.action == "crash":
+        _exit(CRASH_EXIT_CODE)
+        return  # only reached when tests patch _exit
+    if rule.action == "torn":
+        if writer is not None and data is not None:
+            writer(bytes(data)[: int(rule.arg or 0)])
+        _exit(CRASH_EXIT_CODE)
+        return
+    kind = "enospc" if rule.action == "enospc" else str(rule.arg)
+    if kind == "enospc":
+        raise OSError(
+            errno.ENOSPC, f"failpoint {site}: injected ENOSPC"
+        )
+    if kind == "edquot":
+        raise OSError(
+            errno.EDQUOT, f"failpoint {site}: injected EDQUOT"
+        )
+    if kind == "io":
+        raise OSError(errno.EIO, f"failpoint {site}: injected I/O error")
+    if kind == "transient":
+        raise InjectedTransientError(
+            f"failpoint {site}: injected transient failure"
+        )
+    raise InjectedFault(f"failpoint {site}: injected deterministic fault")
+
+
+def fire(
+    site: str,
+    data: Optional[bytes] = None,
+    writer: Optional[Callable[[bytes], None]] = None,
+) -> None:
+    """Evaluate the failpoint at ``site``; a no-op unless armed.
+
+    ``data``/``writer`` make the site ``torn``-capable: when a
+    ``torn:<n>`` rule fires, ``writer(data[:n])`` performs the partial
+    write (the site supplies the mechanics — an ``os.write`` on its
+    fd, a handle write+flush) and the process then crashes hard.
+    """
+    rule = _ACTIVE.get(site)
+    if rule is None:
+        return
+    with _LOCK:
+        rule.hits += 1
+        if rule.hit is not None and rule.hits != rule.hit:
+            return
+        if rule.probability is not None:
+            assert rule.stream is not None
+            if rule.stream.random() >= rule.probability:
+                return
+        if rule.once and not _claim_gate(site):
+            return
+    _trigger(rule, data, writer)
+
+
+install_from_env()

@@ -1,0 +1,668 @@
+"""Crash-consistency harness: ``repro chaos``.
+
+Every store in the execution stack — result cache, sweep journal,
+progress event stream, obs artifact store, the cluster RPC plane —
+claims to survive being killed at its worst moment.  This harness
+*collects* on those claims.  For each scenario it runs the same small
+reference sweep three ways:
+
+1. **baseline** — fault-free, in a clean cache: the ground truth
+   (``rows.json`` bytes, the settled-events digest, every cached
+   payload);
+2. **faulted** — identical command, with one failpoint armed via
+   ``REPRO_FAILPOINTS`` (:mod:`repro.failpoints`): the process is
+   crashed (``os._exit``), torn mid-record, fed ENOSPC, or hit with an
+   I/O error at the chosen site;
+3. **recovery** — identical command again, failpoints unset: resume
+   from whatever the fault left behind.
+
+and then asserts the recovery invariants:
+
+* the recovered ``rows.json`` is **byte-identical** to the baseline's
+  — no settled result lost, no wrong value served;
+* the settled-events digest (:func:`~repro.obs.events
+  .settled_events_digest`) over the scenario's accumulated event
+  stream equals the baseline's — every row settled exactly once with
+  the same outcome, however many attempts it took;
+* every cached payload that exists agrees with the baseline's for the
+  same digest — a corrupt object is quarantined and re-executed, never
+  served.
+
+Cluster scenarios spawn a real ``repro master`` and ``repro agent``
+as subprocesses and inject the fault into the chosen party (client,
+agent, or master), including killing an agent mid-push and letting a
+clean replacement finish the sweep.
+
+``--quick`` runs the CI-smoke subset (cache, journal, events, one
+cluster RPC); the full set also covers the obs store, the worker
+pool, ENOSPC degradation, and a corrupt-cache round trip.  See
+``docs/chaos_testing.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from repro import failpoints
+from repro.errors import ReproError
+from repro.exec.cache import ResultCache
+from repro.integrity import QUARANTINE_SUBDIR
+from repro.obs.events import (
+    list_event_streams,
+    load_events,
+    settled_events_digest,
+)
+
+__all__ = ["ChaosError", "Scenario", "chaos_plan", "run_chaos"]
+
+
+class ChaosError(ReproError):
+    """A crash-consistency invariant was violated."""
+
+
+#: The reference sweep every scenario runs: small enough to finish in
+#: well under a second per run, rich enough to exercise cache, journal,
+#: events, and obs-store writes for three distinct rows.
+SWEEP_SCALE = 50
+SWEEP_VALUES: Tuple[int, ...] = (4, 8, 12)
+
+#: Wall-clock bound per subprocess — generous; a hang is a failure.
+RUN_TIMEOUT_S = 180.0
+
+_CRASH = failpoints.CRASH_EXIT_CODE
+
+
+@dataclass
+class Scenario:
+    """One fault-injection scenario the harness runs and checks."""
+
+    name: str
+    spec: str
+    description: str
+    quick: bool = False
+    jobs: int = 1
+    cluster: bool = False
+    #: Which party gets ``REPRO_FAILPOINTS`` in cluster mode.
+    inject: str = "client"  # "client" | "agent" | "master"
+    #: Kill the faulted agent, then let a clean replacement finish.
+    respawn_agent: bool = False
+    #: Acceptable exit codes for the faulted run.
+    expect: Tuple[int, ...] = (0, 2, _CRASH)
+    #: False when the fault degrades the event stream itself (ENOSPC
+    #: on the bus): rows must still converge, the digest cannot.
+    check_events: bool = True
+    #: Corruption round trip instead of a failpoint (spec unused).
+    corrupt_cache: bool = False
+
+
+def chaos_plan(quick: bool = False) -> List[Scenario]:
+    """The scenario table (the ``--quick`` subset when asked)."""
+    plan = [
+        Scenario(
+            "cache-write-crash",
+            "cache.write.pre_rename=crash",
+            "killed after the cache temp file, before the rename",
+            quick=True,
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "cache-write-torn",
+            "cache.write.pre_rename=torn:20",
+            "cache temp file torn mid-record, then killed",
+            quick=True,
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "journal-append-torn",
+            "journal.append.pre_write=torn:9",
+            "journal tail torn mid-record, then killed",
+            quick=True,
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "journal-append-crash",
+            "journal.append.post_write=crash",
+            "killed right after a journal record was fsynced",
+            quick=True,
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "events-emit-torn",
+            "events.emit=torn:7",
+            "progress event stream torn mid-record, then killed",
+            quick=True,
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "cache-enospc",
+            "cache.write.pre_rename=enospc",
+            "disk full at the first cache write: degrade, don't die",
+            quick=True,
+            expect=(0,),
+        ),
+        Scenario(
+            "cluster-rpc-io",
+            "cluster.client.post_send=error:io@2",
+            "transport error on the client's second RPC: retried away",
+            quick=True,
+            cluster=True,
+            inject="client",
+            expect=(0,),
+        ),
+        Scenario(
+            "cluster-rpc-pre-io",
+            "cluster.client.pre_send=error:io@1",
+            "transport error before the client's first RPC: retried",
+            cluster=True,
+            inject="client",
+            expect=(0,),
+        ),
+        Scenario(
+            "client-submit-crash",
+            "cluster.sweep.post_submit=crash",
+            "client killed right after submitting; resubmission lands",
+            cluster=True,
+            inject="client",
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "registry-expire-delay",
+            "master.registry.pre_expire=delay:50",
+            "every lease-expiry pass slowed: no settled row racing",
+            cluster=True,
+            inject="master",
+            expect=(0,),
+        ),
+        Scenario(
+            "cache-rename-crash",
+            "cache.write.post_rename=crash",
+            "killed with the cache record in place, journal behind",
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "persist-pre-crash",
+            "executor.persist.pre=crash",
+            "killed before any of a settled row was persisted",
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "persist-post-crash",
+            "executor.persist.post=crash",
+            "killed just after the full persist path for one row",
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "obs-store-crash",
+            "obs.store.write.pre_rename=crash",
+            "killed mid obs-artifact write: telemetry is redone",
+            expect=(_CRASH,),
+        ),
+        Scenario(
+            "events-enospc",
+            "events.emit=enospc",
+            "disk full on the event bus: advisory stream goes dark",
+            expect=(0,),
+            check_events=False,
+        ),
+        Scenario(
+            "worker-crash-once",
+            "worker.result.pre_put=crash!once",
+            "one worker killed before handing back its result",
+            jobs=2,
+            expect=(0,),
+        ),
+        Scenario(
+            "master-persist-io",
+            "master.result.pre_persist=error:io@1",
+            "master 500s the first result push: the agent re-pushes",
+            cluster=True,
+            inject="master",
+            expect=(0,),
+        ),
+        Scenario(
+            "agent-push-crash",
+            "agent.result.pre_push=crash",
+            "agent killed mid-push; a clean replacement finishes",
+            cluster=True,
+            inject="agent",
+            respawn_agent=True,
+            expect=(0,),
+        ),
+        Scenario(
+            "corrupt-cache-object",
+            "",
+            "cached payload flipped on disk: quarantine + re-execute",
+            corrupt_cache=True,
+            expect=(0,),
+        ),
+    ]
+    if quick:
+        return [scenario for scenario in plan if scenario.quick]
+    return plan
+
+
+# -- subprocess plumbing -----------------------------------------------
+
+def _base_env() -> Dict[str, str]:
+    """A clean environment: no inherited failpoints/cache redirects."""
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if not key.startswith("REPRO_")
+    }
+    src = str(Path(failpoints.__file__).resolve().parents[2])
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _sweep_cmd(
+    rows: Path,
+    cache_dir: Path,
+    jobs: int = 1,
+    master_url: Optional[str] = None,
+) -> List[str]:
+    cmd = [
+        sys.executable, "-m", "repro", "sweep",
+        "--scale", str(SWEEP_SCALE),
+        "--values", *[str(value) for value in SWEEP_VALUES],
+        "--jobs", str(jobs),
+        "--obs-level", "metrics",
+        "--cache-dir", str(cache_dir),
+        "--output", str(rows),
+    ]
+    if master_url:
+        cmd += ["--master-url", master_url]
+    return cmd
+
+
+def _run(
+    cmd: Sequence[str], env: Dict[str, str], timeout: float = RUN_TIMEOUT_S
+) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        list(cmd),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _tail(text: str, lines: int = 5) -> str:
+    parts = [line for line in text.strip().splitlines() if line.strip()]
+    return " | ".join(parts[-lines:])
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_for_port(port: int, proc: subprocess.Popen, deadline_s: float = 30.0) -> None:
+    """Block until the master accepts connections (or died trying)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise ChaosError(
+                f"master exited early with status {proc.returncode}"
+            )
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=0.5):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise ChaosError(f"master never started listening on port {port}")
+
+
+def _stop(proc: Optional[subprocess.Popen], timeout: float = 10.0) -> None:
+    if proc is None or proc.poll() is not None:
+        return
+    proc.terminate()
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=timeout)
+
+
+# -- invariants --------------------------------------------------------
+
+@dataclass
+class Baseline:
+    """Ground truth captured from the fault-free run."""
+
+    rows: bytes
+    settled: str
+    payloads: Dict[str, Any] = field(default_factory=dict)
+
+
+def _settled_digest(cache_dir: Path) -> str:
+    events: List[Dict[str, Any]] = []
+    for stream in list_event_streams(cache_dir / "journals"):
+        events.extend(load_events(stream))
+    return settled_events_digest(events)
+
+
+def _cache_payloads(cache_dir: Path) -> Dict[str, Any]:
+    payloads: Dict[str, Any] = {}
+    for record in ResultCache(cache_dir).entries():
+        if "payload" in record:  # skip obs artifacts sharing the shard
+            payloads[str(record.get("digest", ""))] = record["payload"]
+    return payloads
+
+
+def _capture_baseline(workdir: Path) -> Baseline:
+    cache = workdir / "baseline" / "cache"
+    cache.mkdir(parents=True)
+    rows = workdir / "baseline" / "rows.json"
+    result = _run(_sweep_cmd(rows, cache), _base_env())
+    if result.returncode != 0:
+        raise ChaosError(
+            "baseline sweep failed "
+            f"(exit {result.returncode}): {_tail(result.stderr)}"
+        )
+    return Baseline(
+        rows=rows.read_bytes(),
+        settled=_settled_digest(cache),
+        payloads=_cache_payloads(cache),
+    )
+
+
+def _assert_converged(
+    scenario: Scenario, baseline: Baseline, cache: Path, rows: Path
+) -> None:
+    """The recovery invariants every scenario must satisfy."""
+    try:
+        recovered = rows.read_bytes()
+    except OSError as error:
+        raise ChaosError(
+            f"{scenario.name}: recovery produced no output rows ({error})"
+        ) from None
+    if recovered != baseline.rows:
+        raise ChaosError(
+            f"{scenario.name}: recovered rows differ from the fault-free "
+            f"baseline — a settled result was lost or corrupted"
+        )
+    if scenario.check_events:
+        settled = _settled_digest(cache)
+        if settled != baseline.settled:
+            raise ChaosError(
+                f"{scenario.name}: settled-events digest diverged "
+                f"({settled[:12]} != {baseline.settled[:12]})"
+            )
+    for digest, payload in _cache_payloads(cache).items():
+        expected = baseline.payloads.get(digest)
+        if expected is not None and payload != expected:
+            raise ChaosError(
+                f"{scenario.name}: cached payload for {digest[:12]} "
+                f"disagrees with the baseline — corrupt object served"
+            )
+
+
+# -- scenario runners --------------------------------------------------
+
+def _scenario_dirs(workdir: Path, scenario: Scenario) -> Tuple[Path, Path, Path]:
+    root = workdir / scenario.name
+    cache = root / "cache"
+    gate = root / "gate"
+    cache.mkdir(parents=True)
+    gate.mkdir()
+    return root, cache, gate
+
+
+def _fault_env(scenario: Scenario, gate: Path) -> Dict[str, str]:
+    env = _base_env()
+    env[failpoints.FAILPOINTS_ENV] = scenario.spec
+    env[failpoints.GATE_ENV] = str(gate)
+    return env
+
+
+def _run_local(scenario: Scenario, baseline: Baseline, workdir: Path) -> None:
+    root, cache, gate = _scenario_dirs(workdir, scenario)
+    rows = root / "rows.json"
+    cmd = _sweep_cmd(rows, cache, jobs=scenario.jobs)
+    faulted = _run(cmd, _fault_env(scenario, gate))
+    if faulted.returncode not in scenario.expect:
+        raise ChaosError(
+            f"{scenario.name}: faulted run exited {faulted.returncode}, "
+            f"expected one of {scenario.expect}: {_tail(faulted.stderr)}"
+        )
+    recovery = _run(cmd, _base_env())
+    if recovery.returncode != 0:
+        raise ChaosError(
+            f"{scenario.name}: recovery run failed "
+            f"(exit {recovery.returncode}): {_tail(recovery.stderr)}"
+        )
+    _assert_converged(scenario, baseline, cache, rows)
+
+
+def _run_corruption(
+    scenario: Scenario, baseline: Baseline, workdir: Path
+) -> None:
+    """Corrupt a cached payload on disk, then demand a clean re-run."""
+    root, cache, _ = _scenario_dirs(workdir, scenario)
+    rows = root / "rows.json"
+    cmd = _sweep_cmd(rows, cache)
+    seeded = _run(cmd, _base_env())
+    if seeded.returncode != 0:
+        raise ChaosError(
+            f"{scenario.name}: seed run failed: {_tail(seeded.stderr)}"
+        )
+    victims = [
+        path
+        for path in sorted((cache / "objects").glob("*/*.json"))
+        if ".obs." not in path.name
+    ]
+    if not victims:
+        raise ChaosError(f"{scenario.name}: seed run cached nothing")
+    victim = victims[0]
+    record = json.loads(victim.read_text())
+    record.setdefault("payload", {})["corrupted"] = True  # checksum now lies
+    victim.write_text(json.dumps(record) + "\n")
+    # Remove the journal + event stream so only the cache can answer —
+    # the corrupt object must be caught by its checksum, not masked.
+    shutil.rmtree(cache / "journals", ignore_errors=True)
+    rerun = _run(cmd, _base_env())
+    if rerun.returncode != 0:
+        raise ChaosError(
+            f"{scenario.name}: re-run over the corrupt cache failed "
+            f"(exit {rerun.returncode}): {_tail(rerun.stderr)}"
+        )
+    quarantine = cache / QUARANTINE_SUBDIR
+    if not any(quarantine.glob("*")):
+        raise ChaosError(
+            f"{scenario.name}: corrupt object was not quarantined"
+        )
+    _assert_converged(scenario, baseline, cache, rows)
+
+
+def _run_cluster(
+    scenario: Scenario, baseline: Baseline, workdir: Path
+) -> None:
+    root, cache, gate = _scenario_dirs(workdir, scenario)
+    client_cache = root / "client-cache"
+    client_cache.mkdir()
+    rows = root / "rows.json"
+    clean = _base_env()
+    fault = _fault_env(scenario, gate)
+    env_for = {"client": clean, "agent": clean, "master": clean}
+    env_for = dict(env_for, **{scenario.inject: fault})
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    agent_cmd = [
+        sys.executable, "-m", "repro", "agent",
+        "--master-url", url,
+        "--jobs", "1",
+        "--heartbeat-timeout", "2.0",
+        "--max-idle", "60",
+    ]
+    master: Optional[subprocess.Popen] = None
+    agents: List[subprocess.Popen] = []
+    try:
+        master = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "master",
+                "--host", "127.0.0.1",
+                "--port", str(port),
+                "--cache-dir", str(cache),
+                "--heartbeat-timeout", "2.0",
+            ],
+            env=env_for["master"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        _wait_for_port(port, master)
+        client = subprocess.Popen(
+            _sweep_cmd(rows, client_cache, master_url=url),
+            env=env_for["client"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        first_agent = subprocess.Popen(
+            agent_cmd,
+            env=env_for["agent"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        agents.append(first_agent)
+        if scenario.respawn_agent:
+            # The faulted agent must die first (its failpoint kills it
+            # mid-push); only then does a clean replacement join, so
+            # the recovery is attributable to lease reclaim + resume.
+            try:
+                status = first_agent.wait(timeout=RUN_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                raise ChaosError(
+                    f"{scenario.name}: faulted agent never crashed"
+                ) from None
+            if status != _CRASH:
+                raise ChaosError(
+                    f"{scenario.name}: faulted agent exited {status}, "
+                    f"expected {_CRASH}"
+                )
+            agents.append(
+                subprocess.Popen(
+                    agent_cmd,
+                    env=clean,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+        try:
+            _, client_err = client.communicate(timeout=RUN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            client.kill()
+            raise ChaosError(
+                f"{scenario.name}: client sweep hung"
+            ) from None
+        if client.returncode not in scenario.expect:
+            raise ChaosError(
+                f"{scenario.name}: client exited {client.returncode}, "
+                f"expected one of {scenario.expect}: {_tail(client_err)}"
+            )
+        if client.returncode != 0:
+            # The fault killed the client itself: a clean client must
+            # be able to resubmit and converge (the master dedupes the
+            # sweep by content id and answers from its own state).
+            recovery = _run(
+                _sweep_cmd(rows, client_cache, master_url=url), clean
+            )
+            if recovery.returncode != 0:
+                raise ChaosError(
+                    f"{scenario.name}: client recovery failed "
+                    f"(exit {recovery.returncode}): "
+                    f"{_tail(recovery.stderr)}"
+                )
+    finally:
+        for agent in agents:
+            _stop(agent)
+        _stop(master)
+    # The master owns the cache/journal/events for submitted sweeps.
+    _assert_converged(scenario, baseline, cache, rows)
+
+
+# -- entry point -------------------------------------------------------
+
+def run_chaos(
+    quick: bool = False,
+    keep: bool = False,
+    workdir: Optional[Path] = None,
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """Run the chaos plan; returns the number of failed scenarios.
+
+    Prints one line per scenario and a summary to ``stream`` (default
+    stdout).  ``keep=True`` (or any failure) preserves the scratch
+    directory for inspection.
+    """
+    out = stream or sys.stdout
+    plan = chaos_plan(quick=quick)
+    scratch = Path(
+        workdir
+        if workdir is not None
+        else tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    scratch.mkdir(parents=True, exist_ok=True)
+    values = " ".join(str(value) for value in SWEEP_VALUES)
+    print(
+        f"repro chaos: {len(plan)} scenarios "
+        f"({'quick' if quick else 'full'}), reference sweep: "
+        f"--scale {SWEEP_SCALE} --values {values}",
+        file=out,
+    )
+    start = time.monotonic()
+    baseline = _capture_baseline(scratch)
+    print(
+        f"  baseline captured in {time.monotonic() - start:.1f}s "
+        f"({len(baseline.payloads)} cached rows, "
+        f"settled digest {baseline.settled[:12]})",
+        file=out,
+    )
+    failures = 0
+    for scenario in plan:
+        began = time.monotonic()
+        try:
+            if scenario.corrupt_cache:
+                _run_corruption(scenario, baseline, scratch)
+            elif scenario.cluster:
+                _run_cluster(scenario, baseline, scratch)
+            else:
+                _run_local(scenario, baseline, scratch)
+        except (ChaosError, subprocess.TimeoutExpired, OSError) as error:
+            failures += 1
+            print(
+                f"  FAIL {scenario.name:<22} {error}",
+                file=out,
+            )
+        else:
+            print(
+                f"  ok   {scenario.name:<22} "
+                f"{scenario.description} "
+                f"({time.monotonic() - began:.1f}s)",
+                file=out,
+            )
+    verdict = len(plan) - failures
+    print(
+        f"chaos: {verdict}/{len(plan)} scenarios converged "
+        f"in {time.monotonic() - start:.1f}s",
+        file=out,
+    )
+    if failures or keep:
+        print(f"scratch kept at {scratch}", file=out)
+    else:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return failures

@@ -66,7 +66,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro import failpoints
+from repro.integrity import out_of_space, warn_degraded
+
 PathLike = Union[str, Path]
+
+#: Failpoint site inside the advisory emit path — injected errors
+#: must be swallowed here; that *is* the invariant under test.
+SITE_EVENTS_EMIT = failpoints.register_site(
+    "events.emit",
+    "inside SweepEventBus.emit, before the flush (torn-capable)",
+)
 
 #: Event-stream format version (bumped on incompatible changes).
 EVENTS_VERSION = 1
@@ -196,11 +206,25 @@ class SweepEventBus:
                 self._handle = self.path.open("a")
                 if torn:
                     self._handle.write("\n")
-            self._handle.write(json.dumps(record) + "\n")
+            line = json.dumps(record) + "\n"
+            failpoints.fire(
+                SITE_EVENTS_EMIT,
+                data=line.encode("utf-8"),
+                writer=lambda prefix: (
+                    self._handle.write(prefix.decode("utf-8", "ignore")),
+                    self._handle.flush(),
+                ),
+            )
+            self._handle.write(line)
             self._handle.flush()
             self.emitted += 1
-        except (OSError, ValueError, TypeError):
+        except (OSError, ValueError, TypeError) as error:
             self._dead = True  # advisory stream: stop trying, keep sweeping
+            if out_of_space(error):
+                warn_degraded(
+                    "sweep event stream",
+                    f"{error} — sweep continues without progress events",
+                )
 
     def close(self) -> None:
         if self._handle is not None:

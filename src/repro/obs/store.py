@@ -35,10 +35,24 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import failpoints
+from repro.integrity import (
+    out_of_space,
+    quarantine_file,
+    record_checksum,
+    warn_degraded,
+)
+
 PathLike = Union[str, Path]
 
 #: Artifact JSON schema identifier; bump on incompatible changes.
 ARTIFACT_SCHEMA = "repro-obs-artifact/1"
+
+#: Failpoint site at the artifact/trace atomic-write boundary.
+SITE_STORE_WRITE_PRE_RENAME = failpoints.register_site(
+    "obs.store.write.pre_rename",
+    "after an obs artifact/trace temp file is written, before rename",
+)
 
 
 class ObsArtifactStore:
@@ -57,6 +71,7 @@ class ObsArtifactStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def __repr__(self) -> str:
         return (
@@ -100,6 +115,20 @@ class ObsArtifactStore:
         ):
             self.misses += 1
             return None
+        checksum = artifact.get("checksum")
+        if not isinstance(checksum, str) or checksum != record_checksum(
+            artifact
+        ):
+            # Valid JSON but corrupted content: quarantine the pair
+            # (the trace sidecar is only trustworthy via its artifact)
+            # and re-capture on the next execute.
+            self.misses += 1
+            self.quarantined += 1
+            quarantine_file(self.root, path)
+            trace = self.trace_path(digest)
+            if trace.exists():
+                quarantine_file(self.root, trace)
+            return None
         if self.tracing:
             stored_level = str(artifact.get("level", ""))
             if stored_level != "trace" or self.get_trace(digest) is None:
@@ -132,8 +161,14 @@ class ObsArtifactStore:
     def _atomic_write(self, path: Path, text: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with temp.open("w") as handle:
-            handle.write(text)
+        data = text.encode("utf-8")
+        with temp.open("wb") as handle:
+            handle.write(data)
+        failpoints.fire(
+            SITE_STORE_WRITE_PRE_RENAME,
+            data=data,
+            writer=temp.write_bytes,
+        )
         os.replace(temp, path)
 
     def put(
@@ -155,6 +190,7 @@ class ObsArtifactStore:
             "runs": runs,
             "created_at": time.time(),
         }
+        artifact["checksum"] = record_checksum(artifact)
         path = self.artifact_path(digest)
         try:
             if self.tracing:
@@ -167,8 +203,12 @@ class ObsArtifactStore:
                 path, json.dumps(artifact, sort_keys=True) + "\n"
             )
             self.writes += 1
-        except (OSError, TypeError, ValueError):
-            pass
+        except (OSError, TypeError, ValueError) as error:
+            if out_of_space(error):
+                warn_degraded(
+                    "obs artifact store",
+                    f"{error} — continuing without persisting telemetry",
+                )
         return path
 
     def __len__(self) -> int:

@@ -1,0 +1,181 @@
+"""Torn mid-record tails: journal and event stream (satellite of the
+failpoint PR).
+
+A crash inside an append may persist only a prefix of the record.
+These tests tear real files with ``torn:<bytes>`` failpoints and then
+demand the recovery contract: everything before the tear stands, the
+torn fragment is skipped *and isolated* (the next session's first
+append must not glue onto it), and folding/compacting the stream is
+equivalent before and after.
+"""
+
+import json
+
+import pytest
+
+from repro import failpoints
+from repro.exec.journal import SweepJournal, load_journal
+from repro.obs.events import (
+    SweepEventBus,
+    compact_events_file,
+    load_events,
+    replay_events,
+    settled_events_digest,
+)
+
+PAYLOAD = {"num_stations": 4, "admitted": 7}
+DIGEST_A = "a" * 64
+DIGEST_B = "b" * 64
+
+
+def _record(journal, digest, payload=None):
+    journal.record_run(
+        digest,
+        kind="experiment",
+        label="row",
+        status="ok",
+        payload=payload or PAYLOAD,
+        duration_s=0.5,
+    )
+
+
+class TestJournalTornTail:
+    def test_tear_loses_only_the_torn_record(self, tmp_path, crash):
+        journal = SweepJournal(tmp_path, "sweep01")
+        journal.begin(["sweep"], [DIGEST_A, DIGEST_B])
+        failpoints.install("journal.append.pre_write=torn:9")
+        with pytest.raises(crash):
+            _record(journal, DIGEST_A)
+        raw = journal.path.read_bytes()
+        assert not raw.endswith(b"\n")  # a genuine mid-record tear
+        state = load_journal(journal.path)
+        assert state is not None  # begin record still stands
+        assert state.runs == {}  # the torn run is gone, nothing else
+
+    def test_resume_append_does_not_glue_onto_the_tear(
+        self, tmp_path, crash
+    ):
+        journal = SweepJournal(tmp_path, "sweep01")
+        journal.begin(["sweep"], [DIGEST_A, DIGEST_B])
+        failpoints.install("journal.append.pre_write=torn:9")
+        with pytest.raises(crash):
+            _record(journal, DIGEST_A)
+        failpoints.install("")
+        # A fresh session (post-crash process) appends to the same
+        # journal: the torn fragment must be terminated first, or this
+        # record would fuse with it into one unparsable line — losing
+        # the *new* record too.
+        resumed = SweepJournal(tmp_path, "sweep01")
+        _record(resumed, DIGEST_A)
+        _record(resumed, DIGEST_B)
+        state = load_journal(resumed.path)
+        assert set(state.runs) == {DIGEST_A, DIGEST_B}
+        assert state.runs[DIGEST_A]["payload"] == PAYLOAD
+        # Exactly one line (the fragment) is unparsable.
+        lines = resumed.path.read_text().splitlines()
+        bad = [line for line in lines if _unparsable(line)]
+        assert len(bad) == 1 and bad[0] != ""
+
+    def test_clean_tail_is_not_repaired(self, tmp_path):
+        journal = SweepJournal(tmp_path, "sweep01")
+        journal.begin(["sweep"], [DIGEST_A])
+        _record(journal, DIGEST_A)
+        text = journal.path.read_text()
+        assert "\n\n" not in text  # no spurious repair newline
+        assert all(not _unparsable(line) for line in text.splitlines())
+
+    def test_tear_at_zero_bytes_equals_clean_crash(self, tmp_path, crash):
+        journal = SweepJournal(tmp_path, "sweep01")
+        journal.begin(["sweep"], [DIGEST_A])
+        failpoints.install("journal.append.pre_write=torn:0")
+        with pytest.raises(crash):
+            _record(journal, DIGEST_A)
+        # Zero torn bytes: the record is simply absent, the file clean.
+        state = load_journal(journal.path)
+        assert state.runs == {}
+        resumed = SweepJournal(tmp_path, "sweep01")
+        _record(resumed, DIGEST_A)
+        assert set(load_journal(resumed.path).runs) == {DIGEST_A}
+
+
+class TestEventStreamTornTail:
+    def _build_torn_stream(self, root, crash):
+        bus = SweepEventBus(root, "sweep01")
+        bus.emit("sweep_begin", sweep_id="sweep01", total=2, jobs=1)
+        for _ in range(3):
+            bus.emit("heartbeat", active=1, queued=1)
+        bus.emit(
+            "run_settled",
+            digest=DIGEST_A, index=0, status="ok", poisoned=False,
+        )
+        for _ in range(2):
+            bus.emit("heartbeat", active=1, queued=0)
+        failpoints.install("events.emit=torn:7")
+        with pytest.raises(crash):
+            bus.emit(
+                "run_settled",
+                digest=DIGEST_B, index=1, status="ok", poisoned=False,
+            )
+        failpoints.install("")
+        bus.close()
+        return bus.path
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path, crash):
+        path = self._build_torn_stream(tmp_path, crash)
+        assert not path.read_bytes().endswith(b"\n")
+        events = load_events(path)
+        kinds = [event["event"] for event in events]
+        assert kinds.count("run_settled") == 1  # the torn one is gone
+        progress = replay_events(events)
+        assert set(progress.settled) == {DIGEST_A}
+
+    def test_replay_fold_equivalence_after_compaction(
+        self, tmp_path, crash
+    ):
+        path = self._build_torn_stream(tmp_path, crash)
+        before_events = load_events(path)
+        before_digest = settled_events_digest(before_events)
+        before_fold = replay_events(before_events).to_dict()
+        torn_tail = path.read_bytes().splitlines()[-1]
+        assert compact_events_file(path)  # heartbeats did compact
+        after_events = load_events(path)
+        after_digest = settled_events_digest(after_events)
+        after_fold = replay_events(after_events).to_dict()
+        assert after_digest == before_digest
+        assert after_fold == before_fold
+        # The tear survives compaction byte-for-byte, where it was.
+        assert path.read_bytes().splitlines()[-1] == torn_tail
+
+    def test_reopen_after_tear_starts_a_fresh_line(self, tmp_path, crash):
+        path = self._build_torn_stream(tmp_path, crash)
+        resumed = SweepEventBus(tmp_path, "sweep01")
+        resumed.emit(
+            "run_settled",
+            digest=DIGEST_B, index=1, status="ok", poisoned=False,
+        )
+        resumed.close()
+        progress = replay_events(load_events(path))
+        assert set(progress.settled) == {DIGEST_A, DIGEST_B}
+        digest = settled_events_digest(load_events(path))
+        # The recovered stream settles both rows ok — same digest as a
+        # never-torn stream carrying the same outcomes.
+        clean = settled_events_digest(
+            [
+                {"event": "run_settled", "digest": DIGEST_A,
+                 "status": "ok", "poisoned": False},
+                {"event": "run_settled", "digest": DIGEST_B,
+                 "status": "ok", "poisoned": False},
+            ]
+        )
+        assert digest == clean
+
+
+def _unparsable(line):
+    line = line.strip()
+    if not line:
+        return False
+    try:
+        json.loads(line)
+        return False
+    except json.JSONDecodeError:
+        return True

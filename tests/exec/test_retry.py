@@ -1,0 +1,115 @@
+"""The unified retry/backoff contract (repro.exec.retry)."""
+
+import pytest
+
+from repro.exec import retry as retry_module
+from repro.exec.retry import RetryPolicy, retry_call
+from repro.exec.supervisor import Supervision
+
+
+@pytest.fixture
+def no_jitter(monkeypatch):
+    monkeypatch.setattr(
+        retry_module.random, "uniform", lambda low, high: 0.0
+    )
+
+
+class TestRetryPolicy:
+    def test_exponential_shape(self, no_jitter):
+        policy = RetryPolicy(backoff_base=0.5, backoff_cap=30.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_cap_bounds_the_delay(self, no_jitter):
+        policy = RetryPolicy(backoff_base=10.0, backoff_cap=15.0)
+        assert policy.delay(3) == 15.0
+        assert policy.delay(10) == 15.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=30.0, jitter=0.25)
+        samples = [policy.delay(2) for _ in range(200)]
+        assert all(2.0 <= sample <= 2.5 for sample in samples)
+        assert len(set(samples)) > 1  # actually jittered
+
+    def test_should_retry_honours_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        naps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError(f"boom {calls['n']}")
+            return 7
+
+        seen = []
+        result = retry_call(
+            flaky,
+            RetryPolicy(max_attempts=3, backoff_base=0.01, jitter=0.0),
+            retryable=(ValueError,),
+            on_retry=lambda attempt, delay, error: seen.append(
+                (attempt, str(error))
+            ),
+            sleep=naps.append,
+        )
+        assert result == 7
+        assert calls["n"] == 3
+        assert seen == [(1, "boom 1"), (2, "boom 2")]
+        assert len(naps) == 2 and naps[1] > naps[0]
+
+    def test_exhaustion_reraises_the_last_error(self):
+        naps = []
+
+        def always():
+            raise ValueError("persistent")
+
+        with pytest.raises(ValueError, match="persistent"):
+            retry_call(
+                always,
+                RetryPolicy(max_attempts=3, backoff_base=0.01, jitter=0.0),
+                retryable=(ValueError,),
+                sleep=naps.append,
+            )
+        assert len(naps) == 2  # no sleep after the final attempt
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def poisoned():
+            calls["n"] += 1
+            raise KeyError("deterministic")
+
+        with pytest.raises(KeyError):
+            retry_call(
+                poisoned,
+                RetryPolicy(max_attempts=5),
+                retryable=(ValueError,),
+                sleep=lambda _: pytest.fail("must not sleep"),
+            )
+        assert calls["n"] == 1
+
+
+class TestUnification:
+    def test_supervision_backoff_rides_the_shared_policy(self, no_jitter):
+        options = Supervision()
+        policy = options.retry_policy()
+        assert isinstance(policy, RetryPolicy)
+        for attempt in (1, 2, 3):
+            assert options.backoff_delay(attempt) == policy.delay(attempt)
+
+    def test_master_client_policy_mirrors_its_knobs(self):
+        from repro.cluster.protocol import MasterClient
+
+        client = MasterClient(
+            "http://127.0.0.1:1", retries=5, backoff_base=0.1
+        )
+        assert client.policy.max_attempts == 5
+        assert client.policy.backoff_base == 0.1
