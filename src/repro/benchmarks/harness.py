@@ -1,12 +1,27 @@
 """The bench harness: seeded, warmup+repeat, median-of-N, paired.
 
-Every case runs twice — occupancy index on, then off (the legacy
-linear-scan path, ``REPRO_OCC_INDEX=off``) — and must produce
-byte-identical result digests in both modes and across every
-repetition: the speedup claim is only meaningful if the optimisation
-is provably behaviour-preserving.  Timings are wall-clock medians over
-``repeats`` runs after ``warmup`` discarded runs; each repetition
-rebuilds its workload from scratch (setup time is not measured).
+Every case runs twice — a **fast** mode and a **reference** mode,
+selected by the *pair* axis — and must produce byte-identical result
+digests in both modes and across every repetition: a speedup claim is
+only meaningful if the optimisation is provably behaviour-preserving.
+
+Two pairs exist, one per committed fast path:
+
+* ``"batch"`` (default) — batched kernel on vs off
+  (``REPRO_BATCH_KERNEL=off``), occupancy index on in **both** modes,
+  so the ratio isolates the vectorised admission/station path added
+  on top of the index.
+* ``"occ-index"`` — occupancy index on vs the legacy linear scans
+  (``REPRO_OCC_INDEX=off``), batched kernel off in **both** modes,
+  preserving the original hot-path pairing.
+
+Timings are wall-clock medians over ``repeats`` runs after ``warmup``
+discarded runs; each repetition rebuilds its workload from scratch
+(setup time is not measured).  Both switches are patched at their
+module seams (:func:`repro.core.virtual_disks.occupancy_index_enabled`,
+:func:`repro.fastpath.batch_kernel_enabled`) rather than through the
+process environment, so a crashed run cannot leak mode into the
+caller.
 """
 
 from __future__ import annotations
@@ -17,18 +32,25 @@ import platform
 from dataclasses import dataclass, field
 from statistics import median
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.core import virtual_disks
 from repro.errors import ReproError
 
 #: Bench JSON schema identifier; bump on incompatible layout changes.
-SCHEMA = "repro-bench/1"
+#: ``repro-bench/2`` added the pair axis (``occ-index`` | ``batch``)
+#: and renamed the per-case rows ``indexed``/``legacy`` to
+#: ``fast``/``reference``.
+SCHEMA = "repro-bench/2"
+
+#: The valid pair axes.
+PAIRS = ("batch", "occ-index")
 
 
 class BenchError(ReproError):
     """A benchmark failed: nondeterministic results, divergent
-    indexed/legacy outputs, malformed bench JSON, or a regression
+    fast/reference outputs, malformed bench JSON, or a regression
     beyond tolerance."""
 
 
@@ -52,16 +74,31 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def pair_flags(pair: str, fast: bool) -> Tuple[bool, bool]:
+    """The ``(occupancy_index, batch_kernel)`` switch settings for one
+    side of ``pair``."""
+    if pair == "batch":
+        return True, fast
+    if pair == "occ-index":
+        return fast, False
+    raise BenchError(f"unknown bench pair {pair!r}; expected one of {PAIRS}")
+
+
 def _run_mode(
-    case: BenchCase, indexed: bool, warmup: int, repeats: int
+    case: BenchCase, pair: str, fast: bool, warmup: int, repeats: int
 ) -> Dict[str, Any]:
     """Run one case in one mode; returns times + the result digest."""
+    occ_index, batch = pair_flags(pair, fast)
     times: List[float] = []
     digest: Optional[str] = None
-    original = virtual_disks.occupancy_index_enabled
-    # Patch the constructor-time default rather than the process
-    # environment so a crashed run cannot leak mode into the caller.
-    virtual_disks.occupancy_index_enabled = lambda: indexed
+    original_occ = virtual_disks.occupancy_index_enabled
+    original_batch = fastpath.batch_kernel_enabled
+    virtual_disks.occupancy_index_enabled = lambda: occ_index
+    fastpath.batch_kernel_enabled = (
+        (lambda: batch and fastpath.numpy_available())
+        if batch
+        else (lambda: False)
+    )
     try:
         for i in range(warmup + repeats):
             thunk = case.prepare()
@@ -74,13 +111,15 @@ def _run_mode(
             elif d != digest:
                 raise BenchError(
                     f"case {case.name!r} is nondeterministic in "
-                    f"{'indexed' if indexed else 'legacy'} mode: "
-                    f"repetition {i} digest {d[:12]} != {digest[:12]}"
+                    f"{'fast' if fast else 'reference'} mode of pair "
+                    f"{pair!r}: repetition {i} digest {d[:12]} != "
+                    f"{digest[:12]}"
                 )
             if i >= warmup:
                 times.append(elapsed)
     finally:
-        virtual_disks.occupancy_index_enabled = original
+        virtual_disks.occupancy_index_enabled = original_occ
+        fastpath.batch_kernel_enabled = original_batch
     return {
         "median_s": round(median(times), 6),
         "times_s": [round(t, 6) for t in times],
@@ -92,33 +131,35 @@ def run_suite(
     suite: str,
     cases: List[BenchCase],
     *,
+    pair: str = "batch",
     quick: bool = False,
     warmup: int = 1,
     repeats: int = 3,
 ) -> Dict[str, Any]:
-    """Run every case indexed and legacy; returns the bench document."""
+    """Run every case fast and reference; returns the bench document."""
+    pair_flags(pair, True)  # validate the pair name up front
     rows: List[Dict[str, Any]] = []
     for case in cases:
-        indexed = _run_mode(case, True, warmup, repeats)
-        legacy = _run_mode(case, False, warmup, repeats)
-        identical = indexed["digest"] == legacy["digest"]
+        fast = _run_mode(case, pair, True, warmup, repeats)
+        reference = _run_mode(case, pair, False, warmup, repeats)
+        identical = fast["digest"] == reference["digest"]
         if not identical:
             raise BenchError(
-                f"case {case.name!r}: indexed and legacy runs diverged "
-                f"({indexed['digest'][:12]} != {legacy['digest'][:12]}) — "
-                f"the occupancy index changed simulation output"
+                f"case {case.name!r}: fast and reference runs diverged "
+                f"({fast['digest'][:12]} != {reference['digest'][:12]}) — "
+                f"the {pair} fast path changed simulation output"
             )
         speedup = (
-            legacy["median_s"] / indexed["median_s"]
-            if indexed["median_s"] > 0
+            reference["median_s"] / fast["median_s"]
+            if fast["median_s"] > 0
             else float("inf")
         )
         rows.append(
             {
                 "name": case.name,
                 "params": case.params,
-                "indexed": indexed,
-                "legacy": legacy,
+                "fast": fast,
+                "reference": reference,
                 "speedup": round(speedup, 3),
                 "byte_identical": identical,
             }
@@ -126,10 +167,12 @@ def run_suite(
     return {
         "schema": SCHEMA,
         "suite": suite,
+        "pair": pair,
         "quick": quick,
         "warmup": warmup,
         "repeats": repeats,
         "python": platform.python_version(),
+        "numpy": fastpath.numpy_available(),
         "cases": rows,
     }
 
@@ -142,11 +185,16 @@ def validate_document(doc: Any) -> None:
             f"malformed bench JSON: expected schema {SCHEMA!r}, got "
             f"{doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r}"
         )
+    if doc.get("pair") not in PAIRS:
+        raise BenchError(
+            f"malformed bench JSON: pair must be one of {PAIRS}, got "
+            f"{doc.get('pair')!r}"
+        )
     cases = doc.get("cases")
     if not isinstance(cases, list) or not cases:
         raise BenchError("malformed bench JSON: no cases")
     for row in cases:
-        for key in ("name", "indexed", "legacy", "speedup", "byte_identical"):
+        for key in ("name", "fast", "reference", "speedup", "byte_identical"):
             if key not in row:
                 raise BenchError(
                     f"malformed bench JSON: case missing {key!r}: {row!r}"
@@ -154,7 +202,7 @@ def validate_document(doc: Any) -> None:
         if not row["byte_identical"]:
             raise BenchError(
                 f"bench case {row['name']!r} recorded non-identical "
-                f"indexed/legacy outputs"
+                f"fast/reference outputs"
             )
 
 
@@ -166,13 +214,18 @@ def check_regression(
     """Compare speedup *ratios* against a committed baseline.
 
     Absolute wall times are machine-dependent, so CI would flake on
-    them; the indexed/legacy ratio is measured on one machine in one
+    them; the fast/reference ratio is measured on one machine in one
     run and is stable.  Returns human-readable failure strings for
     every case whose speedup fell more than ``tolerance`` (fractional)
     below the baseline's.
     """
     validate_document(current)
     validate_document(baseline)
+    if current.get("pair") != baseline.get("pair"):
+        return [
+            f"pair mismatch: current {current.get('pair')!r} vs baseline "
+            f"{baseline.get('pair')!r} — compare like with like"
+        ]
     failures: List[str] = []
     baseline_by_name = {row["name"]: row for row in baseline["cases"]}
     for row in current["cases"]:
@@ -192,15 +245,16 @@ def check_regression(
 def format_report(doc: Dict[str, Any]) -> str:
     """Human-readable table of one bench document."""
     lines = [
-        f"suite={doc['suite']} quick={doc['quick']} "
-        f"warmup={doc['warmup']} repeats={doc['repeats']}",
-        f"{'case':<34} {'indexed':>10} {'legacy':>10} {'speedup':>8}",
+        f"suite={doc['suite']} pair={doc.get('pair', 'batch')} "
+        f"quick={doc['quick']} warmup={doc['warmup']} "
+        f"repeats={doc['repeats']}",
+        f"{'case':<34} {'fast':>10} {'reference':>10} {'speedup':>8}",
     ]
     for row in doc["cases"]:
         lines.append(
             f"{row['name']:<34} "
-            f"{row['indexed']['median_s']:>9.4f}s "
-            f"{row['legacy']['median_s']:>9.4f}s "
+            f"{row['fast']['median_s']:>9.4f}s "
+            f"{row['reference']['median_s']:>9.4f}s "
             f"{row['speedup']:>7.2f}x"
         )
     return "\n".join(lines)

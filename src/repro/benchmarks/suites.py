@@ -1,21 +1,26 @@
-"""The three bench suites: ``core``, ``admission``, ``sweep``.
+"""The four bench suites: ``core``, ``admission``, ``sweep``,
+``batched``.
 
 Every case is seeded and fully deterministic — the harness digests
 each repetition's payload and refuses nondeterminism — and every case
-is meaningful in both occupancy-index modes (the harness runs each
-twice and demands byte-identical payloads).
+is meaningful in both modes of both pair axes (the harness runs each
+case twice per pair and demands byte-identical payloads).
 
 * ``core`` — the per-interval simulation loop at the paper's scale
   (D = 1000): staggered striping near saturation, staggered at
   moderate load, and simple striping (contiguous admission).  This is
-  the suite the ≥1.5× acceptance number and the CI regression guard
-  are measured on.
+  the suite the occupancy-index ≥1.5× and batched-kernel ≥5×
+  acceptance numbers and the CI regression guard are measured on.
 * ``admission`` — microbenchmarks of the slot pool and admitter
   isolated from the engine: saturated fragmented claims (the
   ``has_free_halves`` fast-out), claim/release churn (index
   maintenance), and contiguous window denials (the negative cache).
 * ``sweep`` — small end-to-end :func:`repro.simulation.run_experiment`
   runs, catching whole-stack regressions the microbenchmarks miss.
+* ``batched`` — the batched kernel beyond paper scale: a first
+  D = 10,000 staggered case (2,500 stations) plus a D = 2,000 simple
+  striping case; the quick variant runs D = 2,000 staggered.  Only
+  interesting under ``--pair batch``.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from repro.core.virtual_disks import SlotPool
 from repro.errors import ReproError
 from repro.media.objects import MediaObject, MediaType
 
-SUITES = ("core", "admission", "sweep")
+SUITES = ("core", "admission", "sweep", "batched")
 
 _BENCH_TYPE = MediaType(name="bench-video", display_bandwidth=100.0)
 
@@ -102,6 +107,39 @@ def _core_cases(quick: bool) -> List[BenchCase]:
             "simple_contiguous",
             technique="simple", num_stations=400, access_mean=1.0,
             **common,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# batched: the batched kernel beyond paper scale
+# ----------------------------------------------------------------------
+def _batched_cases(quick: bool) -> List[BenchCase]:
+    # Few, hot objects: with placement alignment 1 an object's layout
+    # spans ~num_subobjects drives, so at D >> num_subobjects the
+    # clustered starts would overflow per-drive cylinders if the whole
+    # scaled catalog were preloaded.
+    if quick:
+        return [
+            _engine_case(
+                "batched_staggered_d2000",
+                scale=10, num_disks=2000, num_objects=40,
+                technique="staggered", num_stations=600, access_mean=1.0,
+                warmup_intervals=30, measure_intervals=70,
+            ),
+        ]
+    return [
+        _engine_case(
+            "batched_staggered_d10000",
+            scale=10, num_disks=10000, num_objects=40,
+            technique="staggered", num_stations=2500, access_mean=1.0,
+            warmup_intervals=30, measure_intervals=90,
+        ),
+        _engine_case(
+            "batched_simple_d2000",
+            scale=10, num_disks=2000, num_objects=40,
+            technique="simple", num_stations=600, access_mean=1.0,
+            warmup_intervals=30, measure_intervals=70,
         ),
     ]
 
@@ -298,6 +336,8 @@ def suite_cases(suite: str, quick: bool = False) -> List[BenchCase]:
         return _admission_cases(quick)
     if suite == "sweep":
         return [_sweep_case(quick)]
+    if suite == "batched":
+        return _batched_cases(quick)
     raise ReproError(
         f"unknown bench suite {suite!r}; expected one of {', '.join(SUITES)}"
     )

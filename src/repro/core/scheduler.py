@@ -25,6 +25,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.admission import AdmissionMode, Admitter
+from repro.core.batch import BatchAdmissionIndex
 from repro.core.display import Display, Lane
 from repro.core.disk_manager import DiskManager
 from repro.core.ff_rewind import plan_reposition
@@ -147,6 +148,32 @@ class StaggeredStripingPolicy(StoragePolicy):
             self.advance = self._advance_observed
         self._n_admitted = 0
         self._n_materializations = 0
+        # Batched admission (repro.core.batch): one numpy pass per
+        # interval computes claim verdicts for the whole queue, and
+        # displays that provably cannot claim skip their scalar probe.
+        # Bound instance-wise like `advance`, so the scalar class
+        # method stays byte-for-byte the reference path.  fcfs keeps
+        # the scalar pass — its head-of-line blocking on the first
+        # incomplete claim is order-dependent in a way a skip-based
+        # walk cannot express.
+        self._batch_index: Optional[BatchAdmissionIndex] = None
+        if queue_discipline != "fcfs" and disk_manager.pool.batched:
+            self._batch_index = BatchAdmissionIndex(
+                disk_manager.pool, self.admitter.mode
+            )
+            self._admission_pass = self._admission_pass_batched
+            # The display-having queue entries, maintained between
+            # passes as parallel display-id / segment-position lists
+            # (order is irrelevant — they only feed attempt counts and
+            # the verdict gather).  _batch_dirty forces a rebuild after
+            # any mutation the pass itself did not make (cancellation,
+            # reposition, fault abort — all route through
+            # _cancel_display) or after the index compacts.
+            self._batch_ids: List[int] = []
+            self._batch_positions: List[int] = []
+            self._batch_gather_np = None
+            self._batch_dirty = True
+            self._batch_generation = self._batch_index.generation
 
         # Fault coordinator (attach_faults); None = fault-free hooks
         # are skipped and the run is byte-identical to the seed.
@@ -211,7 +238,7 @@ class StaggeredStripingPolicy(StoragePolicy):
         obj = self.catalog.get(request.object_id)
         self.object_manager.pin(request.object_id)
         hit = self.object_manager.record_access(request.object_id, interval)
-        entry = _QueueEntry(request=request)
+        entry = _QueueEntry(request=request, degree=obj.degree)
         if not hit and not self._materialization_pending(request.object_id):
             entry.deferred_placement = not self._start_materialization(
                 obj, interval
@@ -413,6 +440,33 @@ class StaggeredStripingPolicy(StoragePolicy):
             f"queued pending-lane count drifted in interval {interval}: "
             f"running {self._queued_pending_lanes} != recount {reserved}",
         )
+        if self._batch_index is not None:
+            self._batch_index.verify_invariants(sanitizer, interval)
+            if not self._batch_dirty:
+                queued_ids = sorted(
+                    entry.display.display_id
+                    for entry in self._queue
+                    if entry.display is not None
+                )
+                sanitizer.expect(
+                    sorted(self._batch_ids) == queued_ids,
+                    "batch_index",
+                    f"maintained display-id list drifted in interval "
+                    f"{interval}",
+                )
+                index = self._batch_index
+                sanitizer.expect(
+                    self._batch_generation == index.generation
+                    and all(
+                        index.position(display_id) == position
+                        for display_id, position in zip(
+                            self._batch_ids, self._batch_positions
+                        )
+                    ),
+                    "batch_index",
+                    f"maintained segment positions drifted in interval "
+                    f"{interval}",
+                )
         # Heap-min bounds every entry, so a whole-heap scan is needed
         # only when something is actually due — O(1) on the common
         # clean interval instead of O(pending lanes).
@@ -620,6 +674,170 @@ class StaggeredStripingPolicy(StoragePolicy):
             # walk order the discipline used.
             self._queue = [e for e in self._queue if id(e) not in admitted]
 
+    def _batch_rebuild(self) -> None:
+        """Re-derive the maintained display-id / segment-position lists
+        from the stored queue (after a cancel, reposition, fault
+        abort, or index compaction)."""
+        index = self._batch_index
+        ids: List[int] = []
+        positions: List[int] = []
+        for entry in self._queue:
+            display = entry.display
+            if display is None:
+                continue
+            position = index.position(display.display_id)
+            if position is None:
+                position = index.add_display(display)
+            ids.append(display.display_id)
+            positions.append(position)
+        self._batch_ids = ids
+        self._batch_positions = positions
+        self._batch_gather_np = None
+        self._batch_dirty = False
+        self._batch_generation = index.generation
+
+    def _batch_keep_ids(self, interval: int) -> Optional[Set[int]]:
+        """Display ids whose pre-probe verdict is True right now, or
+        None when every queued display's verdict is False."""
+        index = self._batch_index
+        np = index.np
+        verdicts = index.pass_verdicts(interval)
+        gather = self._batch_gather_np
+        if gather is None:
+            gather = self._batch_gather_np = np.array(
+                self._batch_positions, dtype=np.intp
+            )
+        ok = verdicts[gather]
+        if not ok.any():
+            return None
+        ids = self._batch_ids
+        return {ids[i] for i in np.flatnonzero(ok).tolist()}
+
+    def _admission_pass_batched(self, interval: int) -> None:
+        """:meth:`_admission_pass` with vectorised claim verdicts.
+
+        Byte-identical to the scalar pass (see the equivalence
+        argument in :mod:`repro.core.batch`): a False verdict proves
+        the display's scalar probe would claim nothing this pass, so
+        it is skipped — but still counted as an attempt; a True
+        verdict (and any display created during this pass) takes the
+        scalar claim path unchanged.  After any successful claim the
+        verdicts are recomputed before the next probe, so stale True
+        verdicts never trigger doomed probes.
+
+        Two whole-pass fast-outs need no walk at all.  Every
+        display-having queue entry's object is pinned (submit pins,
+        completion/cancel unpin) and the object manager never evicts a
+        pinned object, so the scalar pass's per-entry residency check
+        is True for all of them and the pass reduces to attempt
+        accounting when (a) the pool is saturated — the scalar pass
+        would deny every display on its one-integer fast-out and the
+        claim budget (0 free minus reserved) blocks every creation —
+        or (b) every verdict is False and no creation is possible
+        (nothing display-less, or no budget).
+        """
+        index = self._batch_index
+        if self._batch_dirty or self._batch_generation != index.generation:
+            self._batch_rebuild()
+        n_displays = len(self._batch_ids)
+        pool = self.disk_manager.pool
+        fragmented = self.admitter.mode is AdmissionMode.FRAGMENTED
+        if fragmented and not pool._free_half_total:
+            if n_displays and self.obs is not None:
+                self.admitter.count_attempts(n_displays)
+            return
+        budget = self._claim_budget()
+        keep: Optional[Set[int]] = None
+        if n_displays:
+            keep = self._batch_keep_ids(interval)
+        if keep is None:
+            displayless = len(self._queue) - n_displays
+            if displayless == 0 or (budget is not None and budget <= 0):
+                if n_displays and self.obs is not None:
+                    self.admitter.count_attempts(n_displays)
+                return
+        admitted: Set[int] = set()
+        admitted_ids: List[int] = []
+        attempts = n_displays
+        stale = False
+        for entry in self._scan_order():
+            display = entry.display
+            if display is None:
+                # The budget test runs on the cached degree before the
+                # residency lookup — both are pure checks, so the swap
+                # (vs the scalar pass) is unobservable, and it makes
+                # the common budget-blocked entry one int compare.
+                if budget is not None:
+                    degree = entry.degree
+                    if degree is None:
+                        degree = self._entry_degree(entry)
+                    if degree > budget:
+                        # Anti-hoarding rule — see _admission_pass.
+                        continue
+                if not self.object_manager.is_resident(
+                    entry.request.object_id
+                ):
+                    continue
+                obj = self.catalog.get(entry.request.object_id)
+                if budget is not None:
+                    budget -= obj.degree
+                start = self.disk_manager.start_disk(entry.request.object_id)
+                display = entry.display = self._new_display(
+                    obj, start, entry.request
+                )
+                self._queued_pending_lanes += len(display.lanes)
+                self._batch_ids.append(display.display_id)
+                self._batch_positions.append(index.add_display(display))
+                self._batch_gather_np = None
+                attempts += 1
+                # A display created this pass is probed directly — it
+                # has no pre-pass verdict.
+            else:
+                if keep is None or display.display_id not in keep:
+                    continue
+                if stale:
+                    keep = self._batch_keep_ids(interval)
+                    stale = False
+                    if keep is None or display.display_id not in keep:
+                        continue
+            plan = self.admitter.try_claim(display, interval)
+            if plan.claimed_now:
+                self._queued_pending_lanes -= len(plan.claimed_now)
+                index.on_claim(display)
+                stale = True
+            if plan.complete:
+                self._activate(display)
+                admitted.add(id(entry))
+                admitted_ids.append(display.display_id)
+        if attempts and self.obs is not None:
+            self.admitter.count_attempts(attempts)
+        if admitted:
+            self._queue = [e for e in self._queue if id(e) not in admitted]
+            # Order of the maintained lists is irrelevant, so admitted
+            # displays are swap-removed in place.
+            gone = set(admitted_ids)
+            ids = self._batch_ids
+            positions = self._batch_positions
+            i = 0
+            remaining = len(gone)
+            while remaining and i < len(ids):
+                if ids[i] in gone:
+                    gone.discard(ids[i])
+                    remaining -= 1
+                    ids[i] = ids[-1]
+                    positions[i] = positions[-1]
+                    ids.pop()
+                    positions.pop()
+                else:
+                    i += 1
+            self._batch_gather_np = None
+            for display_id in admitted_ids:
+                index.remove_display(display_id)
+            if index.generation != self._batch_generation:
+                # Compaction renumbered the segments; the cached
+                # positions die with the old generation.
+                self._batch_dirty = True
+
     def _claim_budget(self) -> Optional[int]:
         """Virtual disks available for *new* claimants (FRAGMENTED only).
 
@@ -759,6 +977,14 @@ class StaggeredStripingPolicy(StoragePolicy):
         return completions
 
     def _cancel_display(self, display: Display) -> None:
+        if self._batch_index is not None:
+            # Covers every out-of-pass queue mutation that can touch a
+            # display-having entry: try_cancel, reposition, and fault
+            # aborts all come through here.  Cancels of active displays
+            # dirty the lists needlessly — they are rare, and the
+            # rebuild is one queue walk.
+            self._batch_index.remove_display(display.display_id)
+            self._batch_dirty = True
         self.admitter.abort(display)
         self._active.pop(display.display_id, None)
         self._cancelled.add(display.display_id)

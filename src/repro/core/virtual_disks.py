@@ -28,9 +28,9 @@ does slot ``z`` next pass over physical drive ``d``?".
 from __future__ import annotations
 
 import math
-import os
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro import fastpath, switches
 from repro.errors import ConfigurationError, SchedulingError
 
 #: Half-slots per virtual disk.
@@ -41,14 +41,14 @@ HALVES_PER_SLOT = 2
 #: kept so `repro bench` can measure indexed-vs-legacy on the same tree
 #: and the paired byte-identity check can prove the index changes
 #: nothing but speed.
-OCC_INDEX_ENV = "REPRO_OCC_INDEX"
+OCC_INDEX_ENV = switches.OCC_INDEX_ENV
 
 
 def occupancy_index_enabled() -> bool:
     """Occupancy-index default from ``REPRO_OCC_INDEX`` (on unless
-    explicitly disabled with ``off``/``0``/``false``/``no``)."""
-    value = os.environ.get(OCC_INDEX_ENV, "").strip().lower()
-    return value not in {"0", "off", "false", "no"}
+    disabled; invalid values are a one-line configuration error —
+    see :mod:`repro.switches`)."""
+    return switches.env_switch(OCC_INDEX_ENV, default=True)
 
 
 def physical_disk_of_slot(slot: int, interval: int, stride: int, num_disks: int) -> int:
@@ -101,7 +101,11 @@ class SlotPool:
     """
 
     def __init__(
-        self, num_disks: int, stride: int, indexed: Optional[bool] = None
+        self,
+        num_disks: int,
+        stride: int,
+        indexed: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
@@ -124,6 +128,18 @@ class SlotPool:
         # _buckets[h] = number of slots with exactly h free halves
         self._buckets: List[int] = [0] * HALVES_PER_SLOT + [num_disks]
         self._free_half_total = num_disks * HALVES_PER_SLOT
+        # numpy mirror of _free for the batched admission probes
+        # (repro.core.batch).  The python list stays authoritative —
+        # the mirror only feeds vectorised *reads*; every mutation
+        # still flows through _index_adjust, which updates both.
+        if batched is None:
+            batched = self.indexed and fastpath.batch_kernel_enabled()
+        np = fastpath.numpy_or_none()
+        self._free_np = (
+            np.full(num_disks, HALVES_PER_SLOT, dtype=np.int64)
+            if (batched and self.indexed and np is not None)
+            else None
+        )
         # Bumped on every successful claim/release; lets callers (the
         # admission negative cache, the sanitize clean-skip memo) detect
         # "nothing changed" in O(1).
@@ -153,6 +169,17 @@ class SlotPool:
     def version(self) -> int:
         """Monotone counter bumped by every successful claim/release."""
         return self._version
+
+    @property
+    def batched(self) -> bool:
+        """True when the pool maintains the numpy free-half mirror."""
+        return self._free_np is not None
+
+    def free_halves_array(self):
+        """The numpy free-half mirror (None when batching is off).
+
+        Read-only by contract: consumers index it, never assign."""
+        return self._free_np
 
     def claimed_halves(self, slot: int) -> int:
         """Half-slots of ``slot`` currently claimed."""
@@ -271,6 +298,8 @@ class SlotPool:
         before = self._free[slot]
         after = before + delta
         self._free[slot] = after
+        if self._free_np is not None:
+            self._free_np[slot] = after
         self._buckets[before] -= 1
         self._buckets[after] += 1
         self._free_half_total += delta
@@ -346,6 +375,13 @@ class SlotPool:
                 f"free-half total diverged in interval {interval}: "
                 f"{self._free_half_total} != {sum(expected_free)}",
             )
+            if self._free_np is not None:
+                sanitizer.expect(
+                    self._free_np.tolist() == expected_free,
+                    "occ_index",
+                    f"numpy free-half mirror diverged from ownership "
+                    f"in interval {interval}",
+                )
             self._verified_clean_version = (
                 self._version
                 if sanitizer.total == violations_before

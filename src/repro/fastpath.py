@@ -1,0 +1,67 @@
+"""Optional numpy acceleration layer (the ``[fast]`` extra).
+
+The batched simulation kernel keeps numpy mirrors of the hot
+occupancy state (:class:`~repro.core.virtual_disks.SlotPool` free
+halves, :class:`~repro.hardware.disk_array.DiskArray` claims) and
+evaluates whole admission queues per interval in one array pass
+(:mod:`repro.core.batch`).  numpy is deliberately **optional**: the
+package has no hard dependencies, so everything must degrade to the
+scalar reference path when it is absent.
+
+Three layers of gating, all resolved at *call time* so tests and the
+bench harness can flip them per run:
+
+* ``import numpy`` failing — the ``[fast]`` extra is not installed;
+* ``REPRO_NO_NUMPY=1`` — CI hook that masks an installed numpy to
+  prove the fallback without a separate environment;
+* ``REPRO_BATCH_KERNEL=off`` — the escape hatch back to the scalar
+  path with numpy present (the PR 5 ``REPRO_OCC_INDEX`` pattern).
+
+Consumers must call through the module (``fastpath.batch_kernel_enabled()``),
+never ``from repro.fastpath import batch_kernel_enabled`` — the bench
+harness patches the module attribute to drive paired on/off runs.
+"""
+
+from __future__ import annotations
+
+from repro import switches
+
+try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in CI
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: Re-exported for call sites that only need the variable name.
+BATCH_KERNEL_ENV = switches.BATCH_KERNEL_ENV
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when absent or masked.
+
+    ``REPRO_NO_NUMPY=1`` makes an installed numpy report as absent so
+    the scalar fallback can be exercised in-process.
+    """
+    if _numpy is not None and switches.env_switch(
+        switches.NO_NUMPY_ENV, default=False
+    ):
+        return None
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """Whether the acceleration layer has numpy to work with."""
+    return numpy_or_none() is not None
+
+
+def batch_kernel_enabled() -> bool:
+    """Whether new components should build their batched fast path.
+
+    On by default when numpy is importable; ``REPRO_BATCH_KERNEL=off``
+    is the escape hatch back to the scalar reference path.  Invalid
+    values raise :class:`~repro.errors.ConfigurationError` (one line,
+    exit 2 via the CLI).
+    """
+    return (
+        switches.env_switch(switches.BATCH_KERNEL_ENV, default=True)
+        and numpy_available()
+    )

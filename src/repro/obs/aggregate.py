@@ -13,8 +13,9 @@ Accepted sources (auto-detected):
   schema ``repro-obs-artifact/1``) — one run's stored telemetry;
 * a **metrics document** (``--metrics FILE`` output:
   ``{"level": ..., "runs": [...]}``) — a whole session;
-* a **bench document** (``BENCH_*.json``, schema ``repro-bench/1``) —
-  case medians, speedups, and byte-identity flags;
+* a **bench document** (``BENCH_*.json``, schema ``repro-bench/2``;
+  schema-1 files still flatten) — case medians, speedups, and
+  byte-identity flags;
 * an **obs-overhead document** (``BENCH_obs_overhead.json``: a list of
   per-level rows) — and, generically, any JSON list of flat dicts;
 * a **sweep id** (when the argument is not a file): resolved through
@@ -128,7 +129,12 @@ def flatten_runs(
 
 
 def flatten_bench(document: Dict[str, Any]) -> Dict[str, float]:
-    """Flatten a ``repro-bench/1`` document to ``bench.<case>.<field>``."""
+    """Flatten a ``repro-bench/*`` document to ``bench.<case>.<field>``.
+
+    Accepts both the schema-2 ``fast``/``reference`` side names and the
+    schema-1 ``indexed``/``legacy`` names so old committed baselines
+    remain diffable.
+    """
     out: Dict[str, float] = {}
     for case in document.get("cases", []):
         if not isinstance(case, dict):
@@ -138,7 +144,7 @@ def flatten_bench(document: Dict[str, Any]) -> Dict[str, float]:
             number = _as_number(case.get(field))
             if number is not None:
                 out[f"bench.{name}.{field}"] = number
-        for side in ("indexed", "legacy"):
+        for side in ("fast", "reference", "indexed", "legacy"):
             timing = case.get(side)
             if isinstance(timing, dict):
                 number = _as_number(timing.get("median_s"))

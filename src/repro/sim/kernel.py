@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator, List, Optional, Set, Tuple
 
+from repro import fastpath
 from repro.errors import SimulationError
 from repro.sim.events import Interrupt, ProcessKilled, SimEvent
 
@@ -222,13 +223,20 @@ class Simulation:
     dispatch and nothing more.
     """
 
-    def __init__(self, tracer=None, sanitizer=None) -> None:
+    def __init__(self, tracer=None, sanitizer=None, batched: Optional[bool] = None) -> None:
         self.now = 0.0
         self.tracer = tracer
         # Optional repro.sim.sanitize.Sanitizer: event-time
         # monotonicity violations are reported to it (tallied in check
         # mode) in addition to the kernel's own hard error below.
         self.sanitizer = sanitizer
+        # Batched settle: run() drains whole same-time cohorts through
+        # step_cohort() instead of re-entering the loop per entry.
+        # Execution order is identical (the heap already orders a
+        # cohort by sequence number), so this removes only loop and
+        # bounds-check overhead; REPRO_BATCH_KERNEL=off restores
+        # per-entry stepping.
+        self._batched = fastpath.batch_kernel_enabled() if batched is None else batched
         self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
         self._sequence = 0
         self._process_count = 0
@@ -323,6 +331,37 @@ class Simulation:
             return True
         return False
 
+    def step_cohort(self) -> int:
+        """Execute every live entry due at the next event time.
+
+        Entries scheduled *during* the cohort for the same instant
+        join it: they carry higher sequence numbers, so the heap
+        surfaces them in exactly the order repeated :meth:`step` calls
+        would.  Returns the number of entries executed (0 when the
+        calendar is empty).
+        """
+        time = self.peek()
+        if time == math.inf:
+            return 0
+        if self.sanitizer is not None:
+            self.sanitizer.note_time("kernel.now", time)
+        if time < self.now:
+            raise SimulationError(
+                f"simulation clock would move backwards: {time} < {self.now}"
+            )
+        self.now = time
+        heap = self._heap
+        cancelled = self._cancelled_seqs
+        executed = 0
+        while heap and heap[0][0] == time:
+            _t, seq, callback, arg = heapq.heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            callback(arg)
+            executed += 1
+        return executed
+
     def peek(self) -> float:
         """Time of the next live calendar entry, or ``inf`` if none."""
         heap = self._heap
@@ -339,15 +378,20 @@ class Simulation:
         if self._running:
             raise SimulationError("Simulation.run() is not re-entrant")
         self._running = True
+        # Cohort draining needs no per-entry budget check, so it only
+        # serves the (dominant) unbounded case.
+        use_cohorts = self._batched and max_events is None
         executed = 0
         try:
             while self._heap:
                 if until is not None and self.peek() > until:
                     self.now = until
                     break
-                if max_events is not None and executed >= max_events:
+                if use_cohorts:
+                    executed += self.step_cohort()
+                elif max_events is not None and executed >= max_events:
                     break
-                if self.step():
+                elif self.step():
                     executed += 1
             else:
                 if until is not None and self.now < until:

@@ -1,0 +1,71 @@
+"""One shared parser for the ``REPRO_*`` escape-hatch switches.
+
+Every performance subsystem ships with an environment escape hatch
+back to its reference implementation: ``REPRO_OCC_INDEX`` for the
+PR 5 incremental occupancy indexes, ``REPRO_BATCH_KERNEL`` for the
+vectorised batch kernel, ``REPRO_NO_NUMPY`` for masking numpy in CI.
+Historically each consulting module parsed its variable itself with
+slightly different lenience (``REPRO_OCC_INDEX=bogus`` silently meant
+*on*).  All switches now parse here: a small explicit vocabulary, and
+anything else raises :class:`~repro.errors.ConfigurationError` — which
+the CLI's top-level handler reports as one line on stderr and exit
+code 2, exactly like an invalid ``--failpoints`` spec.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Escape hatch for the PR 5 incremental occupancy indexes
+#: (see :mod:`repro.core.virtual_disks`).
+OCC_INDEX_ENV = "REPRO_OCC_INDEX"
+
+#: Escape hatch for the vectorised batch kernel
+#: (see :mod:`repro.fastpath`).
+BATCH_KERNEL_ENV = "REPRO_BATCH_KERNEL"
+
+#: Test/CI hook: pretend numpy is not installed without uninstalling
+#: it, so the scalar fallback can be proven in an environment that has
+#: numpy (see :func:`repro.fastpath.numpy_available`).
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+#: Accepted spellings.  Case-insensitive; surrounding whitespace is
+#: ignored; empty string behaves like unset.
+ON_VALUES = frozenset({"1", "on", "true", "yes"})
+OFF_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def parse_switch(name: str, value: Optional[str], default: bool = True) -> bool:
+    """Interpret one switch value; reject anything unrecognised.
+
+    ``None`` (unset) and ``""`` yield ``default``; otherwise the value
+    must be one of :data:`ON_VALUES` / :data:`OFF_VALUES` or a
+    :class:`ConfigurationError` is raised with a one-line message.
+    """
+    if value is None:
+        return default
+    normalized = value.strip().lower()
+    if not normalized:
+        return default
+    if normalized in ON_VALUES:
+        return True
+    if normalized in OFF_VALUES:
+        return False
+    raise ConfigurationError(
+        f"{name}={value!r} is not a valid switch value "
+        f"(on: {'/'.join(sorted(ON_VALUES))}; "
+        f"off: {'/'.join(sorted(OFF_VALUES))}; "
+        f"unset/empty: default {'on' if default else 'off'})"
+    )
+
+
+def env_switch(name: str, default: bool = True) -> bool:
+    """The boolean state of environment switch ``name``.
+
+    Reads the environment at call time — never cached — so tests and
+    the bench harness can flip switches per run.
+    """
+    return parse_switch(name, os.environ.get(name), default)

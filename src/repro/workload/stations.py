@@ -11,9 +11,11 @@ setting.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro import fastpath
 from repro.errors import ConfigurationError
 from repro.simulation.policy import Request
 from repro.workload.access import AccessDistribution
@@ -45,6 +47,15 @@ class StationPool(ArrivalProcess):
     the population is the fixed station set, nobody ever blocks
     (``is_open`` is ``False``, ``deadline_intervals`` is ``None``),
     and a completed station re-issues after its think time.
+
+    Under the batched kernel (:func:`repro.fastpath.
+    batch_kernel_enabled`) the per-interval scan is replaced by a heap
+    of idle stations keyed by ``next_issue_at``, so an interval costs
+    O(ready) instead of O(stations).  The issue order — and with it
+    every draw from the shared access distribution — is unchanged: the
+    scalar scan issues from ready stations in ascending ``station_id``
+    whatever their ready times, and the heap path sorts the due pops
+    the same way.
     """
 
     def __init__(
@@ -52,6 +63,7 @@ class StationPool(ArrivalProcess):
         num_stations: int,
         access: AccessDistribution,
         think_intervals: int = 0,
+        batched: Optional[bool] = None,
     ) -> None:
         if num_stations < 1:
             raise ConfigurationError(
@@ -67,6 +79,13 @@ class StationPool(ArrivalProcess):
             for i in range(num_stations)
         ]
         self._request_seq = 0
+        if batched is None:
+            batched = fastpath.batch_kernel_enabled()
+        # (next_issue_at, station_id) for every idle station; None keeps
+        # the reference scan.  The initial list is already heap-ordered.
+        self._idle_heap: Optional[List[Tuple[int, int]]] = (
+            [(0, i) for i in range(num_stations)] if batched else None
+        )
 
     def __repr__(self) -> str:
         busy = sum(1 for s in self.stations if s.busy)
@@ -75,24 +94,35 @@ class StationPool(ArrivalProcess):
     def __len__(self) -> int:
         return len(self.stations)
 
+    def _issue(self, station: DisplayStation, interval: int) -> Request:
+        self._request_seq += 1
+        request = Request(
+            request_id=self._request_seq,
+            station_id=station.station_id,
+            object_id=self.access.sample(),
+            issued_at=interval,
+        )
+        station.outstanding = request
+        station.requests_issued += 1
+        return request
+
     def ready_requests(self, interval: int) -> List[Request]:
         """Issue a request from every idle station whose think time has
         elapsed."""
-        issued: List[Request] = []
-        for station in self.stations:
-            if station.busy or interval < station.next_issue_at:
-                continue
-            self._request_seq += 1
-            request = Request(
-                request_id=self._request_seq,
-                station_id=station.station_id,
-                object_id=self.access.sample(),
-                issued_at=interval,
-            )
-            station.outstanding = request
-            station.requests_issued += 1
-            issued.append(request)
-        return issued
+        heap = self._idle_heap
+        if heap is None:
+            return [
+                self._issue(station, interval)
+                for station in self.stations
+                if not (station.busy or interval < station.next_issue_at)
+            ]
+        if not heap or heap[0][0] > interval:
+            return []
+        due: List[int] = []
+        while heap and heap[0][0] <= interval:
+            due.append(heapq.heappop(heap)[1])
+        due.sort()
+        return [self._issue(self.stations[i], interval) for i in due]
 
     def complete(self, request: Request, interval: int) -> None:
         """A station's display finished; it thinks, then re-issues."""
@@ -106,6 +136,10 @@ class StationPool(ArrivalProcess):
         station.outstanding = None
         station.displays_completed += 1
         station.next_issue_at = interval + 1 + station.think_intervals
+        if self._idle_heap is not None:
+            heapq.heappush(
+                self._idle_heap, (station.next_issue_at, station.station_id)
+            )
 
     def total_completed(self) -> int:
         """Displays completed across all stations."""

@@ -7,13 +7,16 @@ import json
 
 import pytest
 
+from repro import fastpath
 from repro.benchmarks import (
+    PAIRS,
     SCHEMA,
     SUITES,
     BenchCase,
     BenchError,
     check_regression,
     format_report,
+    pair_flags,
     run_suite,
     suite_cases,
     validate_document,
@@ -40,41 +43,79 @@ def _counting_case(name="count") -> BenchCase:
     return BenchCase(name=name, prepare=prepare, params={"num_disks": 8})
 
 
+class TestPairFlags:
+    def test_batch_pair_keeps_index_on_in_both_modes(self):
+        assert pair_flags("batch", True) == (True, True)
+        assert pair_flags("batch", False) == (True, False)
+
+    def test_occ_index_pair_keeps_batch_off_in_both_modes(self):
+        assert pair_flags("occ-index", True) == (True, False)
+        assert pair_flags("occ-index", False) == (False, False)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(BenchError, match="unknown bench pair"):
+            pair_flags("nope", True)
+
+
 class TestRunSuite:
     def test_document_shape(self):
         doc = run_suite("unit", [_counting_case()], warmup=0, repeats=2)
         validate_document(doc)  # must not raise
         assert doc["schema"] == SCHEMA
         assert doc["suite"] == "unit"
+        assert doc["pair"] == "batch"
         assert doc["repeats"] == 2
         (row,) = doc["cases"]
         assert row["name"] == "count"
         assert row["byte_identical"] is True
         assert row["speedup"] > 0
-        assert len(row["indexed"]["times_s"]) == 2
-        assert row["indexed"]["digest"] == row["legacy"]["digest"]
+        assert len(row["fast"]["times_s"]) == 2
+        assert row["fast"]["digest"] == row["reference"]["digest"]
 
     def test_document_is_json_round_trippable(self):
         doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
         validate_document(json.loads(json.dumps(doc)))
 
-    def test_both_modes_actually_run(self):
+    def test_unknown_pair_rejected_up_front(self):
+        with pytest.raises(BenchError, match="unknown bench pair"):
+            run_suite("unit", [_counting_case()], pair="bogus")
+
+    @pytest.mark.parametrize("pair", PAIRS)
+    def test_both_modes_actually_run(self, pair):
         seen = []
-        original = virtual_disks.occupancy_index_enabled
+        original_occ = virtual_disks.occupancy_index_enabled
+        original_batch = fastpath.batch_kernel_enabled
 
         def prepare():
-            seen.append(virtual_disks.occupancy_index_enabled())
+            seen.append(
+                (
+                    virtual_disks.occupancy_index_enabled(),
+                    fastpath.batch_kernel_enabled(),
+                )
+            )
             return lambda: {"ok": 1}
 
         run_suite(
             "unit",
             [BenchCase(name="modes", prepare=prepare)],
+            pair=pair,
             warmup=0,
             repeats=1,
         )
-        assert seen == [True, False]
-        # The patch must not leak out of the harness.
-        assert virtual_disks.occupancy_index_enabled is original
+        have_numpy = fastpath.numpy_available()
+        expected = [
+            pair_flags(pair, True),
+            pair_flags(pair, False),
+        ]
+        # The batch switch is additionally gated on numpy availability,
+        # so without numpy the fast mode degrades to scalar.
+        expected = [
+            (occ, batch and have_numpy) for occ, batch in expected
+        ]
+        assert seen == expected
+        # The patches must not leak out of the harness.
+        assert virtual_disks.occupancy_index_enabled is original_occ
+        assert fastpath.batch_kernel_enabled is original_batch
 
     def test_nondeterminism_is_an_error(self):
         counter = [0]
@@ -103,6 +144,24 @@ class TestRunSuite:
             run_suite(
                 "unit",
                 [BenchCase(name="diverge", prepare=prepare)],
+                pair="occ-index",
+                warmup=0,
+                repeats=1,
+            )
+
+    @pytest.mark.skipif(
+        not fastpath.numpy_available(), reason="batch pair needs numpy"
+    )
+    def test_batch_pair_divergence_is_an_error(self):
+        def prepare():
+            mode = fastpath.batch_kernel_enabled()
+            return lambda: {"mode": mode}
+
+        with pytest.raises(BenchError, match="diverged"):
+            run_suite(
+                "unit",
+                [BenchCase(name="diverge", prepare=prepare)],
+                pair="batch",
                 warmup=0,
                 repeats=1,
             )
@@ -116,6 +175,7 @@ class TestRunSuite:
         )
         report = format_report(doc)
         assert "a" in report and "b" in report and "speedup" in report
+        assert "pair=batch" in report
 
 
 class TestValidateDocument:
@@ -123,9 +183,19 @@ class TestValidateDocument:
         with pytest.raises(BenchError, match="schema"):
             validate_document({"schema": "bogus/9", "cases": [{}]})
 
+    def test_rejects_schema_one(self):
+        """Old committed baselines must be regenerated, not silently
+        reinterpreted."""
+        with pytest.raises(BenchError, match="schema"):
+            validate_document({"schema": "repro-bench/1", "cases": [{}]})
+
+    def test_rejects_missing_pair(self):
+        with pytest.raises(BenchError, match="pair"):
+            validate_document({"schema": SCHEMA, "cases": [{}]})
+
     def test_rejects_missing_cases(self):
         with pytest.raises(BenchError, match="no cases"):
-            validate_document({"schema": SCHEMA, "cases": []})
+            validate_document({"schema": SCHEMA, "pair": "batch", "cases": []})
 
     def test_rejects_non_identical_outputs(self):
         doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
@@ -138,8 +208,10 @@ class TestValidateDocument:
 
 
 class TestCheckRegression:
-    def _doc(self, speedup):
-        doc = run_suite("unit", [_counting_case()], warmup=0, repeats=1)
+    def _doc(self, speedup, pair="batch"):
+        doc = run_suite(
+            "unit", [_counting_case()], pair=pair, warmup=0, repeats=1
+        )
         doc["cases"][0]["speedup"] = speedup
         return doc
 
@@ -157,10 +229,20 @@ class TestCheckRegression:
         baseline["cases"][0]["name"] = "something-else"
         assert check_regression(current, baseline) == []
 
+    def test_pair_mismatch_is_a_failure(self):
+        failures = check_regression(
+            self._doc(2.0, pair="batch"), self._doc(2.0, pair="occ-index")
+        )
+        assert len(failures) == 1
+        assert "pair mismatch" in failures[0]
+
 
 class TestSuiteRegistry:
     def test_known_suites(self):
-        assert SUITES == ("core", "admission", "sweep")
+        assert SUITES == ("core", "admission", "sweep", "batched")
+
+    def test_known_pairs(self):
+        assert PAIRS == ("batch", "occ-index")
 
     @pytest.mark.parametrize("suite", SUITES)
     def test_every_suite_yields_cases(self, suite):
@@ -189,5 +271,5 @@ class TestSeededRepeatability:
         )
         for a, b in zip(first["cases"], second["cases"]):
             assert a["name"] == b["name"]
-            assert a["indexed"]["digest"] == b["indexed"]["digest"]
-            assert a["legacy"]["digest"] == b["legacy"]["digest"]
+            assert a["fast"]["digest"] == b["fast"]["digest"]
+            assert a["reference"]["digest"] == b["reference"]["digest"]

@@ -1,0 +1,115 @@
+"""Tests for the shared ``REPRO_*`` switch parser and the numpy
+gating layer: one vocabulary, one error shape (one line, exit 2 via
+the CLI), call-time reads, and the scalar fallback when numpy is
+masked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath, switches
+from repro.cli import main
+from repro.core import virtual_disks
+from repro.core.virtual_disks import SlotPool
+from repro.errors import ConfigurationError
+
+
+class TestParseSwitch:
+    @pytest.mark.parametrize("value", ["1", "on", "true", "yes", "ON", " On "])
+    def test_on_values(self, value):
+        assert switches.parse_switch("X", value) is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", "OFF"])
+    def test_off_values(self, value):
+        assert switches.parse_switch("X", value) is False
+
+    @pytest.mark.parametrize("value", [None, "", "   "])
+    def test_unset_and_empty_yield_default(self, value):
+        assert switches.parse_switch("X", value, default=True) is True
+        assert switches.parse_switch("X", value, default=False) is False
+
+    @pytest.mark.parametrize("value", ["bogus", "2", "enabled", "y"])
+    def test_invalid_values_raise_one_line(self, value):
+        with pytest.raises(ConfigurationError) as excinfo:
+            switches.parse_switch("REPRO_BATCH_KERNEL", value)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "REPRO_BATCH_KERNEL" in message
+        assert value in message
+
+
+class TestEnvSwitch:
+    def test_reads_environment_at_call_time(self, monkeypatch):
+        monkeypatch.delenv(switches.BATCH_KERNEL_ENV, raising=False)
+        assert switches.env_switch(switches.BATCH_KERNEL_ENV) is True
+        monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "off")
+        assert switches.env_switch(switches.BATCH_KERNEL_ENV) is False
+        monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "on")
+        assert switches.env_switch(switches.BATCH_KERNEL_ENV) is True
+
+    def test_occ_index_uses_shared_parser(self, monkeypatch):
+        monkeypatch.setenv(switches.OCC_INDEX_ENV, "nonsense")
+        with pytest.raises(ConfigurationError, match="REPRO_OCC_INDEX"):
+            virtual_disks.occupancy_index_enabled()
+
+    def test_batch_kernel_uses_shared_parser(self, monkeypatch):
+        monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "nonsense")
+        with pytest.raises(ConfigurationError, match="REPRO_BATCH_KERNEL"):
+            fastpath.batch_kernel_enabled()
+
+
+@pytest.mark.skipif(
+    fastpath._numpy is None, reason="needs an installed numpy to mask"
+)
+class TestNumpyMasking:
+    def test_no_numpy_masks_an_installed_numpy(self, monkeypatch):
+        monkeypatch.delenv(switches.NO_NUMPY_ENV, raising=False)
+        assert fastpath.numpy_available() is True
+        monkeypatch.setenv(switches.NO_NUMPY_ENV, "1")
+        assert fastpath.numpy_or_none() is None
+        assert fastpath.numpy_available() is False
+        assert fastpath.batch_kernel_enabled() is False
+
+    def test_masked_pool_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setenv(switches.NO_NUMPY_ENV, "1")
+        pool = SlotPool(num_disks=4, stride=1)
+        assert pool.batched is False
+        assert pool.free_halves_array() is None
+        pool.claim(0, "a")
+        assert pool.free_halves(0) == 0
+
+    def test_batch_kernel_off_disables_with_numpy_present(self, monkeypatch):
+        monkeypatch.delenv(switches.NO_NUMPY_ENV, raising=False)
+        monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "off")
+        assert fastpath.batch_kernel_enabled() is False
+        pool = SlotPool(num_disks=4, stride=1)
+        assert pool.batched is False
+
+
+class TestCliExitTwo:
+    """An invalid switch value is a user error: one line on stderr,
+    exit code 2 — the same contract as a malformed ``--failpoints``."""
+
+    @pytest.mark.parametrize(
+        "env", [switches.BATCH_KERNEL_ENV, switches.OCC_INDEX_ENV]
+    )
+    def test_invalid_switch_is_one_line_exit_two(self, env, monkeypatch,
+                                                 capsys):
+        monkeypatch.setenv(env, "bogus")
+        code = main([
+            "run", "--scale", "100", "--technique", "simple",
+            "--stations", "2", "--mean", "0.2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert env in err
+
+    def test_valid_switch_runs(self, monkeypatch, capsys):
+        monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "off")
+        code = main([
+            "run", "--scale", "100", "--technique", "simple",
+            "--stations", "2", "--mean", "0.2",
+        ])
+        assert code == 0
+        assert "throughput_per_hour" in capsys.readouterr().out

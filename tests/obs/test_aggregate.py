@@ -95,6 +95,25 @@ class TestFlattenOtherSources:
         assert flat["bench.hotpath.indexed.median_s"] == 0.5
         assert flat["bench.hotpath.legacy.median_s"] == 0.9
 
+    def test_bench_schema_two(self):
+        doc = {
+            "schema": "repro-bench/2",
+            "pair": "batch",
+            "cases": [
+                {
+                    "name": "batched",
+                    "speedup": 5.4,
+                    "byte_identical": True,
+                    "fast": {"median_s": 0.1},
+                    "reference": {"median_s": 0.54},
+                }
+            ],
+        }
+        flat = flatten_bench(doc)
+        assert flat["bench.batched.speedup"] == 5.4
+        assert flat["bench.batched.fast.median_s"] == 0.1
+        assert flat["bench.batched.reference.median_s"] == 0.54
+
     def test_rows(self):
         rows = [
             {"level": "metrics", "overhead_pct": 1.5, "cpu_seconds": 2.0},

@@ -307,3 +307,88 @@ class TestCancellableTimers:
         sim.run()
         assert process._hold_timer is None
         assert not process.alive
+
+
+class TestCohortStepping:
+    """``step_cohort`` / batched ``run()`` must execute the calendar in
+    exactly the order repeated ``step()`` calls would — the cohort
+    drain removes loop overhead, never reorders."""
+
+    def _churn(self, sim, trace):
+        """A workload with same-time cohorts, mid-cohort scheduling,
+        holds, events, and cancellations."""
+        from repro.sim.kernel import Simulation  # noqa: F401 (docs)
+
+        def worker(name, delay):
+            yield hold(delay)
+            trace.append((name, sim.now))
+            yield hold(1.0)
+            trace.append((name + "-again", sim.now))
+
+        for i in range(4):
+            sim.spawn(worker(f"w{i}", 2.0), name=f"w{i}")
+        # Same-instant callbacks, one of which schedules another at the
+        # same instant (joins the cohort) and one at a later instant.
+        sim.schedule(2.0, lambda _: trace.append(("cb", sim.now)), None)
+        sim.schedule(
+            2.0,
+            lambda _: sim.schedule(
+                0.0, lambda __: trace.append(("nested", sim.now)), None
+            ),
+            None,
+        )
+        timer = sim.schedule_cancellable(
+            2.0, lambda _: trace.append(("cancelled", sim.now)), None
+        )
+        sim.schedule(0.5, lambda _: timer.cancel(), None)
+
+    def test_batched_run_matches_scalar_run(self):
+        traces = []
+        for batched in (False, True):
+            sim = Simulation(batched=batched)
+            trace = []
+            self._churn(sim, trace)
+            sim.run()
+            traces.append((trace, sim.now))
+        assert traces[0] == traces[1]
+        assert ("cancelled", 2.0) not in traces[0][0]
+        assert ("nested", 2.0) in traces[0][0]
+
+    def test_step_cohort_counts_and_advances(self, sim):
+        seen = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, seen.append, label)
+        sim.schedule(2.0, seen.append, "late")
+        assert sim.step_cohort() == 3
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 1.0
+        assert sim.step_cohort() == 1
+        assert sim.now == 2.0
+        assert sim.step_cohort() == 0  # empty calendar
+
+    def test_step_cohort_skips_cancelled_entries(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "keep")
+        timer = sim.schedule_cancellable(1.0, seen.append, "dead")
+        sim.schedule(1.0, seen.append, "keep2")
+        timer.cancel()
+        assert sim.step_cohort() == 2
+        assert seen == ["keep", "keep2"]
+
+    def test_max_events_disables_cohort_draining(self):
+        """A bounded run must honour the per-entry budget even when the
+        kernel is batched (a cohort could overshoot it)."""
+        sim = Simulation(batched=True)
+        seen = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, seen.append, label)
+        sim.run(max_events=2)
+        assert seen == ["a", "b"]
+
+    def test_run_until_stops_before_next_cohort(self):
+        sim = Simulation(batched=True)
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(5.0, seen.append, "late")
+        assert sim.run(until=2.0) == 2.0
+        assert seen == ["early"]

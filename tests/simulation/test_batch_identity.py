@@ -1,0 +1,102 @@
+"""End-to-end byte-identity of the batched kernel.
+
+The acceptance bar for the whole batched path (lane-table admission,
+cohort settle, station heap): running the same configuration with
+``REPRO_BATCH_KERNEL`` on and off must produce **byte-identical**
+serialized results — across admission modes, queue disciplines, and
+fault scenarios, and under ``--sanitize strict`` so every invariant
+sweep runs.  ``REPRO_NO_NUMPY=1`` (the fallback a numpy-less install
+takes) must land on the same bytes too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import fastpath, switches
+from repro.simulation.config import ScaledConfig
+from repro.simulation.runner import build_engine
+
+pytestmark = pytest.mark.skipif(
+    not fastpath.numpy_available(), reason="pairing needs numpy"
+)
+
+
+def run_blob(config, batch_on) -> str:
+    original = fastpath.batch_kernel_enabled
+    fastpath.batch_kernel_enabled = lambda: batch_on
+    try:
+        engine = build_engine(config)
+        result = engine.run(
+            warmup_intervals=config.warmup_intervals,
+            measure_intervals=config.measure_intervals,
+        )
+    finally:
+        fastpath.batch_kernel_enabled = original
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+CASES = {
+    "staggered_fragmented": ScaledConfig(scale=100).with_(
+        technique="staggered", num_stations=8, sanitize="strict"
+    ),
+    "simple_contiguous": ScaledConfig(scale=100).with_(
+        technique="simple", num_stations=8, sanitize="strict"
+    ),
+    "staggered_sjf": ScaledConfig(scale=50).with_(
+        technique="staggered", num_stations=12, queue_discipline="sjf",
+        sanitize="strict",
+    ),
+    "staggered_largest_first": ScaledConfig(scale=50).with_(
+        technique="staggered", num_stations=12,
+        queue_discipline="largest_first", sanitize="strict",
+    ),
+    "fcfs_head_of_line": ScaledConfig(scale=50).with_(
+        technique="staggered", num_stations=12, queue_discipline="fcfs",
+        sanitize="strict",
+    ),
+    "faulted_mirror": ScaledConfig(scale=50).with_(
+        technique="staggered", num_stations=8, mttf=60.0, mttr=8.0,
+        redundancy="mirror", sanitize="strict",
+    ),
+    "faulted_abort": ScaledConfig(scale=50).with_(
+        technique="staggered", num_stations=8, mttf=40.0, mttr=6.0,
+        redundancy="none", on_fault="abort", sanitize="strict",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_batched_run_is_byte_identical_to_scalar(name):
+    config = CASES[name]
+    assert run_blob(config, True) == run_blob(config, False)
+
+
+def test_no_numpy_fallback_is_byte_identical(monkeypatch):
+    """Masking numpy entirely (the ``[fast]``-less install) routes
+    every component to its scalar path and must not move a byte."""
+    config = CASES["staggered_fragmented"]
+    batched = run_blob(config, True)
+    monkeypatch.setenv(switches.NO_NUMPY_ENV, "1")
+    assert fastpath.numpy_or_none() is None
+    engine = build_engine(config)
+    result = engine.run(
+        warmup_intervals=config.warmup_intervals,
+        measure_intervals=config.measure_intervals,
+    )
+    assert json.dumps(result.to_dict(), sort_keys=True) == batched
+
+
+def test_kernel_switch_off_disables_batch_state(monkeypatch):
+    monkeypatch.setenv(switches.BATCH_KERNEL_ENV, "off")
+    config = CASES["staggered_fragmented"]
+    engine = build_engine(config)
+    assert engine.policy._batch_index is None
+
+
+def test_kernel_switch_on_builds_batch_state():
+    config = CASES["staggered_fragmented"]
+    engine = build_engine(config)
+    assert engine.policy._batch_index is not None

@@ -71,3 +71,74 @@ def test_validation(stream):
         StationPool(num_stations=0, access=access)
     with pytest.raises(ConfigurationError):
         StationPool(num_stations=1, access=access, think_intervals=-1)
+
+
+class TestHeapEquivalence:
+    """The batched pool's idle heap must issue exactly the requests,
+    in exactly the order (hence with exactly the RNG draws), of the
+    scalar station scan — over arbitrary complete/idle interleavings,
+    including non-monotone interval queries."""
+
+    def _pools(self, num_stations, think):
+        pools = []
+        for batched in (False, True):
+            access = UniformAccess(list(range(7)), RandomStream(seed=99))
+            pools.append(
+                StationPool(
+                    num_stations=num_stations,
+                    access=access,
+                    think_intervals=think,
+                    batched=batched,
+                )
+            )
+        return pools
+
+    def _assert_same_requests(self, a, b):
+        assert [
+            (r.request_id, r.station_id, r.object_id) for r in a
+        ] == [(r.request_id, r.station_id, r.object_id) for r in b]
+
+    @pytest.mark.parametrize("think", [0, 3])
+    def test_lockstep_issue_and_complete(self, think):
+        scalar, batched = self._pools(8, think)
+        import random
+
+        rng = random.Random(4)
+        inflight = []
+        interval = 0
+        for _step in range(200):
+            interval += rng.choice([0, 1, 1, 2])
+            got_s = scalar.ready_requests(interval)
+            got_b = batched.ready_requests(interval)
+            self._assert_same_requests(got_s, got_b)
+            inflight.extend(zip(got_s, got_b))
+            rng.shuffle(inflight)
+            for _ in range(rng.randrange(len(inflight) + 1)):
+                req_s, req_b = inflight.pop()
+                done = interval + rng.randrange(4)
+                scalar.complete(req_s, done)
+                batched.complete(req_b, done)
+        assert scalar.total_completed() == batched.total_completed()
+
+    def test_ascending_station_order_among_due(self):
+        """Stations becoming ready at the same interval issue in
+        station-id order on both paths (the RNG-draw order)."""
+        scalar, batched = self._pools(6, 0)
+        for pool in (scalar, batched):
+            requests = pool.ready_requests(0)
+            # Complete in reverse station order; reissue order must
+            # still be ascending by station id.
+            for request in sorted(
+                requests, key=lambda r: -r.station_id
+            ):
+                pool.complete(request, interval=5)
+        got_s = scalar.ready_requests(6)
+        got_b = batched.ready_requests(6)
+        assert [r.station_id for r in got_s] == [0, 1, 2, 3, 4, 5]
+        self._assert_same_requests(got_s, got_b)
+
+    def test_repeated_query_same_interval_is_stable(self):
+        scalar, batched = self._pools(4, 0)
+        assert len(batched.ready_requests(0)) == 4
+        assert batched.ready_requests(0) == []
+        assert scalar.ready_requests(0) and scalar.ready_requests(0) == []
